@@ -1,0 +1,51 @@
+// Shared scaffolding for the benchmark binaries (DESIGN.md §4): every bench
+// prints a banner naming the paper artifact it regenerates, runs the
+// simulation, and closes with paper-vs-measured headlines.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "fed/request.hpp"
+#include "sim/calibration.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+
+namespace flstore::bench {
+
+inline void banner(const char* artifact, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", artifact, title);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+/// The §5.1 evaluation scenario for one model. `scale` < 1 shrinks rounds
+/// and request counts proportionally (all benches default to full scale; a
+/// smaller scale keeps CI runs quick without changing any per-request
+/// quantity — only sample counts shrink).
+inline sim::ScenarioConfig paper_scenario(const std::string& model,
+                                          double scale = 1.0) {
+  sim::ScenarioConfig cfg;
+  cfg.model = model;
+  cfg.rounds = static_cast<RoundId>(1000 * scale);
+  cfg.duration_s = sim::kTraceDurationS * scale;
+  cfg.total_requests = static_cast<std::size_t>(3000 * scale);
+  cfg.round_interval_s = sim::kRoundIntervalS;
+  return cfg;
+}
+
+/// Panel label used by the paper's figures for each §5.1 model.
+inline std::string panel_label(const std::string& model) {
+  if (model == "resnet18") return "Resnet18";
+  if (model == "mobilenet_v3_small") return "MobileNetV2";  // paper's label
+  if (model == "efficientnet_v2_s") return "EfficientNet";
+  if (model == "swin_v2_t") return "SwinTransformer";
+  return model;
+}
+
+}  // namespace flstore::bench

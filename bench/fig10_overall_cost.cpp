@@ -1,0 +1,61 @@
+// Figure 10: overall per-round FL cost with and without FLStore (training
+// cost is untouched; the non-training share collapses).
+//
+// Paper examples: debugging $0.099 -> $0.004 (96.4 % reduction of the
+// workload share), inference $0.097 -> $0.004 (96 %); per-application total
+// reductions annotated between 42 % and 96 %.
+#include "bench_common.hpp"
+#include "sim/training_model.hpp"
+
+using namespace flstore;
+
+int main() {
+  bench::banner("Figure 10",
+                "Overall per-round FL cost with and without FLStore");
+
+  sim::ScenarioConfig cfg = bench::paper_scenario("efficientnet_v2_s", 0.2);
+  cfg.pool_size = 200;
+  sim::Scenario sc(cfg);
+  const auto trace = sc.trace();
+
+  auto base = sim::adapt(sc.objstore_agg());
+  const auto base_run = sim::run_trace(*base, sc.job(), trace, cfg.duration_s,
+                                       cfg.round_interval_s);
+  auto fl = sim::adapt(sc.flstore());
+  const auto fl_run = sim::run_trace(*fl, sc.job(), trace, cfg.duration_s,
+                                     cfg.round_interval_s);
+  const auto base_by = sim::by_workload(base_run);
+  const auto fl_by = sim::by_workload(fl_run);
+
+  double train_cost = 0.0;
+  constexpr int kSampleRounds = 20;
+  for (RoundId r = 0; r < kSampleRounds; ++r) {
+    train_cost += sim::training_profile(sc.job(), r * 5).vm_cost_usd;
+  }
+  train_cost /= kSampleRounds;
+
+  Table table({"application", "without FLStore ($/round)",
+               "with FLStore ($/round)", "reduction"});
+  double debugging_before = 0.0, debugging_after = 0.0;
+  for (const auto type : fed::paper_workloads()) {
+    const double before = train_cost + base_by.at(type).cost.mean();
+    const double after = train_cost + fl_by.at(type).cost.mean();
+    if (type == fed::WorkloadType::kDebugging) {
+      debugging_before = base_by.at(type).cost.mean();
+      debugging_after = fl_by.at(type).cost.mean();
+    }
+    table.add_row({fed::paper_label(type), fmt_usd(before), fmt_usd(after),
+                   fmt_pct(percent_reduction(before, after))});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nHeadlines (paper vs measured):\n");
+  sim::print_headline("debugging workload cost before", 0.099,
+                      debugging_before, "$");
+  sim::print_headline("debugging workload cost after", 0.004,
+                      debugging_after, "$");
+  sim::print_headline("debugging workload cost reduction", 96.4,
+                      percent_reduction(debugging_before, debugging_after),
+                      "%");
+  return 0;
+}

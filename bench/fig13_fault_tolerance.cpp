@@ -1,0 +1,87 @@
+// Figure 13 (Appendix A.2): FLStore latency and cost per request under
+// Zipfian function reclamations, for FI = 1..5 function instances (replica
+// copies) per group. EfficientNet, 3000 requests / 50 hours.
+//
+// Paper headlines: FI=1 is worst; 3 instances cut latency by 50-150 s per
+// request versus FI=1 under faults; FI=3..5 are nearly flat.
+#include "bench_common.hpp"
+
+using namespace flstore;
+
+int main() {
+  bench::banner("Figure 13",
+                "Latency/cost per request vs function instances (faults)");
+
+  auto cfg = bench::paper_scenario("efficientnet_v2_s", 0.25);
+  const std::vector<fed::WorkloadType> workloads = {
+      fed::WorkloadType::kPersonalization, fed::WorkloadType::kClustering,
+      fed::WorkloadType::kMaliciousFilter, fed::WorkloadType::kIncentives,
+      fed::WorkloadType::kSchedulingCluster, fed::WorkloadType::kReputation,
+      fed::WorkloadType::kSchedulingPerf, fed::WorkloadType::kCosineSimilarity};
+  cfg.workloads = workloads;
+
+  // One Zipf reclamation schedule shared by every FI configuration.
+  Rng fault_rng(77);
+  FaultInjectorConfig fic;
+  fic.mean_interarrival_s = 120.0;  // a reclamation storm: one per 2 min
+  fic.population = 16;
+  fic.zipf_exponent = 1.0;
+  const auto faults =
+      generate_fault_schedule(fic, cfg.duration_s, fault_rng);
+
+  Table lat({"application", "FI=1 (s)", "FI=2 (s)", "FI=3 (s)", "FI=4 (s)",
+             "FI=5 (s)"});
+  Table cost({"application", "FI=1 ($)", "FI=2 ($)", "FI=3 ($)", "FI=4 ($)",
+              "FI=5 ($)"});
+
+  std::map<fed::WorkloadType, std::vector<double>> lat_cells, cost_cells;
+  double fi1_mean = 0.0, fi3_mean = 0.0;
+
+  for (int fi = 1; fi <= 5; ++fi) {
+    auto run_cfg = cfg;
+    run_cfg.replicas = fi;
+    sim::Scenario sc(run_cfg);
+    const auto trace = sc.trace();
+    auto adapter = sim::adapt(sc.flstore());
+    sim::RunnerOptions opts;
+    opts.faults = faults;
+    const auto run = sim::run_trace(*adapter, sc.job(), trace,
+                                    run_cfg.duration_s,
+                                    run_cfg.round_interval_s, opts);
+    const auto by = sim::by_workload(run);
+    double total = 0.0;
+    std::size_t n = 0;
+    for (const auto type : workloads) {
+      lat_cells[type].push_back(by.at(type).latency.mean());
+      cost_cells[type].push_back(by.at(type).cost.mean());
+      total += by.at(type).latency.sum();
+      n += by.at(type).latency.size();
+    }
+    if (fi == 1) fi1_mean = total / static_cast<double>(n);
+    if (fi == 3) fi3_mean = total / static_cast<double>(n);
+  }
+
+  for (const auto type : workloads) {
+    std::vector<std::string> lrow{fed::paper_label(type)};
+    std::vector<std::string> crow{fed::paper_label(type)};
+    for (int fi = 0; fi < 5; ++fi) {
+      lrow.push_back(fmt(lat_cells[type][static_cast<std::size_t>(fi)], 2));
+      crow.push_back(
+          fmt_usd(cost_cells[type][static_cast<std::size_t>(fi)]));
+    }
+    lat.add_row(lrow);
+    cost.add_row(crow);
+  }
+  std::printf("\nPer-request latency under faults:\n%s",
+              lat.to_string().c_str());
+  std::printf("\nPer-request cost under faults:\n%s", cost.to_string().c_str());
+
+  std::printf("\nHeadlines (paper vs measured):\n");
+  sim::print_headline("mean per-request latency FI=1", 60.0, fi1_mean, "s");
+  sim::print_headline("latency saved per request by FI=3 vs FI=1", 50.0,
+                      fi1_mean - fi3_mean, "s");
+  bench::note(
+      "Shape check: FI=1 pays recurring re-fetches; FI>=3 absorbs the Zipf\n"
+      "fault storm with only failover timeouts, as in the paper.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 17 (Appendix B.2): Cache-Agg vs FLStore accumulated total time and
+// total cost over 50 hours / 3000 requests, six workloads.
+//
+// Paper headlines: total time reduced 37.77-84.45 % (191.65 accumulated
+// hours saved); total cost reduced 98.12-99.89 % ($7047.16 saved).
+#include "bench_common.hpp"
+
+using namespace flstore;
+
+int main() {
+  bench::banner("Figure 17",
+                "Cache-Agg vs FLStore totals over 50 h / 3000 requests");
+
+  auto cfg = bench::paper_scenario("efficientnet_v2_s");
+  cfg.workloads = fed::cacheagg_workloads();
+  sim::Scenario sc(cfg);
+  const auto trace = sc.trace();
+
+  auto fl = sim::adapt(sc.flstore());
+  auto cache = sim::adapt(sc.cache_agg());
+  const auto fl_run = sim::run_trace(*fl, sc.job(), trace, cfg.duration_s,
+                                     cfg.round_interval_s);
+  const auto ca_run = sim::run_trace(*cache, sc.job(), trace, cfg.duration_s,
+                                     cfg.round_interval_s);
+  const auto fl_by = sim::by_workload(fl_run);
+  const auto ca_by = sim::by_workload(ca_run);
+
+  const double ca_infra_per_req =
+      ca_run.infrastructure_usd / static_cast<double>(ca_run.records.size());
+  const double fl_infra_per_req =
+      fl_run.infrastructure_usd / static_cast<double>(fl_run.records.size());
+
+  Table table({"application", "Cache-Agg time (h)", "FLStore time (h)",
+               "Cache-Agg cost ($)", "FLStore cost ($)"});
+  for (const auto type : fed::cacheagg_workloads()) {
+    const auto& c = ca_by.at(type);
+    const auto& f = fl_by.at(type);
+    table.add_row(
+        {fed::paper_label(type), fmt(c.latency.sum() / 3600.0, 2),
+         fmt(f.latency.sum() / 3600.0, 3),
+         fmt(c.cost.sum() + ca_infra_per_req * c.cost.size(), 2),
+         fmt(f.cost.sum() + fl_infra_per_req * f.cost.size(), 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const double hours_saved =
+      (ca_run.total_latency_s() - fl_run.total_latency_s()) / 3600.0;
+  const double ca_total = ca_run.total_serving_usd() + ca_run.infrastructure_usd;
+  const double fl_total = fl_run.total_serving_usd() + fl_run.infrastructure_usd;
+  std::printf("\nHeadlines (paper vs measured):\n");
+  sim::print_headline("accumulated hours saved", 191.65, hours_saved, "h");
+  sim::print_headline("total cost reduction", 99.0,
+                      percent_reduction(ca_total, fl_total), "%");
+  sim::print_headline("accumulated dollars saved", 7047.16,
+                      ca_total - fl_total, "$");
+  return 0;
+}

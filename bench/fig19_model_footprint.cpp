@@ -1,0 +1,35 @@
+// Figure 19 (Appendix D): memory footprint of the models commonly used in
+// cross-device FL — the observation that makes function-memory caching
+// viable (I3: average ~161 MB vs a 10 GB function ceiling).
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+using namespace flstore;
+
+int main() {
+  bench::banner("Figure 19", "Memory footprint of 23 cross-device FL models");
+
+  auto specs = std::vector<ModelSpec>(ModelZoo::instance().all().begin(),
+                                      ModelZoo::instance().all().end());
+  std::sort(specs.begin(), specs.end(),
+            [](const ModelSpec& a, const ModelSpec& b) {
+              return a.object_mib() < b.object_mib();
+            });
+
+  Table table({"model", "parameters (M)", "object size (MiB)",
+               "fits 10 GB function?"});
+  for (const auto& s : specs) {
+    table.add_row({s.name, fmt(static_cast<double>(s.parameters) / 1e6, 1),
+                   fmt(s.object_mib(), 1),
+                   s.object_bytes < 10 * units::GB ? "yes" : "no"});
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const double avg = ModelZoo::instance().average_object_mib();
+  std::printf("\nHeadlines (paper vs measured):\n");
+  sim::print_headline("average model object size", 160.88, avg, "MiB");
+  sim::print_headline("models in the zoo", 23,
+                      static_cast<double>(specs.size()), "");
+  return 0;
+}

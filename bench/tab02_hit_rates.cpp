@@ -1,0 +1,143 @@
+// Table 2: cache-policy hit/miss counts on the simulated single-family
+// traces (FL jobs with 10 clients per round from a pool of 250 over 2000
+// rounds).
+//
+// Paper numbers:
+//   P2 family: FLStore 19999 hits / 1 miss of 20000; FIFO/LFU/LRU 0 hits.
+//   P3 family: FLStore    63 hits / 1 miss of    64; FIFO/LFU/LRU 0 hits.
+//   P4 family: FLStore 20000 hits / 0 miss of 20000; FIFO/LFU/LRU 0 hits.
+#include "bench_common.hpp"
+
+#include "core/flstore.hpp"
+#include "fed/trace.hpp"
+
+using namespace flstore;
+
+namespace {
+
+struct Row {
+  std::string family;
+  std::string policy;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+Row run_policy(const std::string& family, core::PolicyMode mode,
+               const fed::FLJob& job, ObjectStore& cold,
+               const std::vector<fed::NonTrainingRequest>& trace,
+               bool during_training) {
+  core::FLStoreConfig cfg;
+  cfg.policy.mode = mode;
+  // Traditional policies get a bounded demand cache (two rounds' worth),
+  // like the FLStore variants of Fig 11.
+  if (!core::is_tailored(mode)) {
+    cfg.cache_capacity = 22ULL * job.model().object_bytes;
+  }
+  core::FLStore store(cfg, job, cold);
+
+  Row row{family, core::to_string(mode), 0, 0};
+  if (during_training) {
+    // P4 trace runs while training streams rounds in (write-allocation is
+    // what produces its 100 % hit rate).
+    auto adapter = sim::adapt(store);
+    const auto run = sim::run_trace(*adapter, const_cast<fed::FLJob&>(job),
+                                    trace, static_cast<double>(trace.size()),
+                                    1.0);
+    row.hits = run.total_hits();
+    row.misses = run.total_misses();
+  } else {
+    // P2/P3 traces replay post-hoc against a cold cache (the persistent
+    // store already holds the full history).
+    double t = 1.0e6;
+    for (const auto& req : trace) {
+      const auto res = store.serve(req, t);
+      row.hits += res.hits;
+      row.misses += res.misses;
+      t += 10.0;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2", "Cache policy hits/misses across workload families");
+
+  fed::FLJobConfig job_cfg;
+  job_cfg.model = "efficientnet_v2_s";
+  job_cfg.pool_size = 250;
+  job_cfg.clients_per_round = 10;
+  job_cfg.rounds = 2000;
+  fed::FLJob job(job_cfg);
+
+  ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
+  {
+    // Populate the persistent store once (traditional-mode ingest caches
+    // nothing, so this only writes the cold tier).
+    core::FLStoreConfig filler_cfg;
+    filler_cfg.policy.mode = core::PolicyMode::kLru;
+    core::FLStore filler(filler_cfg, job, cold);
+    for (RoundId r = 0; r < job_cfg.rounds; ++r) {
+      filler.ingest_round(job.make_round(r), static_cast<double>(r));
+    }
+  }
+
+  const auto p2_trace =
+      fed::table2_p2_trace(fed::WorkloadType::kMaliciousFilter, 2000);
+  const auto p3_trace =
+      fed::table2_p3_trace(job.participants(0).front(), 64, job);
+  const auto p4_trace = fed::table2_p4_trace(2000);
+
+  const std::vector<core::PolicyMode> modes = {
+      core::PolicyMode::kTailored, core::PolicyMode::kFifo,
+      core::PolicyMode::kLfu, core::PolicyMode::kLru};
+
+  Table table({"workload family", "policy", "hits", "misses", "total",
+               "hit %"});
+  auto emit = [&table](const Row& row) {
+    const auto total = row.hits + row.misses;
+    table.add_row({row.family, row.policy, std::to_string(row.hits),
+                   std::to_string(row.misses), std::to_string(total),
+                   fmt(total == 0 ? 0.0
+                                  : static_cast<double>(row.hits) /
+                                        static_cast<double>(total),
+                       2)});
+  };
+
+  Row fl_p2, fl_p3, fl_p4;
+  for (const auto mode : modes) {
+    auto row = run_policy("P2 (per-round apps)", mode, job, cold, p2_trace,
+                          false);
+    if (mode == core::PolicyMode::kTailored) fl_p2 = row;
+    emit(row);
+  }
+  for (const auto mode : modes) {
+    auto row = run_policy("P3 (across-round apps)", mode, job, cold, p3_trace,
+                          false);
+    if (mode == core::PolicyMode::kTailored) fl_p3 = row;
+    emit(row);
+  }
+  for (const auto mode : modes) {
+    auto row = run_policy("P4 (metadata apps)", mode, job, cold, p4_trace,
+                          true);
+    if (mode == core::PolicyMode::kTailored) fl_p4 = row;
+    emit(row);
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  std::printf("\nHeadlines (paper vs measured):\n");
+  sim::print_headline("P2 FLStore hits", 19999,
+                      static_cast<double>(fl_p2.hits), "");
+  sim::print_headline("P2 FLStore misses", 1,
+                      static_cast<double>(fl_p2.misses), "");
+  sim::print_headline("P3 FLStore hits", 63, static_cast<double>(fl_p3.hits),
+                      "");
+  sim::print_headline("P3 FLStore misses", 1,
+                      static_cast<double>(fl_p3.misses), "");
+  sim::print_headline("P4 FLStore hits", 20000,
+                      static_cast<double>(fl_p4.hits), "");
+  sim::print_headline("P4 FLStore misses", 0,
+                      static_cast<double>(fl_p4.misses), "");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Live non-training pipeline during training (the Fig-6 workflow).
+//
+// While a job trains, every new round triggers the per-round pipeline the
+// paper's motivation describes: filter poisoners, schedule the next round's
+// clients, and refresh the served model — all against the round that the
+// Cache Engine write-allocated moments earlier.
+//
+//   ./examples/live_pipeline
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/flstore.hpp"
+#include "fed/fl_job.hpp"
+#include "sim/calibration.hpp"
+
+using namespace flstore;
+
+int main() {
+  fed::FLJobConfig job_cfg;
+  job_cfg.model = "efficientnet_v2_s";
+  job_cfg.pool_size = 200;
+  job_cfg.clients_per_round = 10;
+  job_cfg.rounds = 25;
+  job_cfg.malicious_fraction = 0.1;
+  fed::FLJob job(job_cfg);
+
+  ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
+  core::FLStore store(core::FLStoreConfig{}, job, cold);
+
+  RequestId next_id = 1;
+  SampleSet pipeline_latency;
+  std::size_t flagged_total = 0;
+  SampleSet hit_rate;
+
+  Table table({"round", "flagged", "scheduled tier size", "served model",
+               "pipeline latency (s)"});
+  for (RoundId r = 0; r < job_cfg.rounds; ++r) {
+    const double round_time = sim::kRoundIntervalS * r;
+    store.ingest_round(job.make_round(r), round_time);
+
+    // The per-round pipeline fires right after aggregation.
+    double t = round_time + 1.0;
+    double latency = 0.0;
+
+    fed::NonTrainingRequest filter{next_id++,
+                                   fed::WorkloadType::kMaliciousFilter, r,
+                                   kNoClient, t};
+    const auto f = store.serve(filter, t);
+    latency += f.latency_s;
+    flagged_total += f.output.selected.size();
+
+    fed::NonTrainingRequest sched{next_id++,
+                                  fed::WorkloadType::kSchedulingCluster, r,
+                                  kNoClient, t + f.latency_s};
+    const auto s = store.serve(sched, t + f.latency_s);
+    latency += s.latency_s;
+
+    fed::NonTrainingRequest infer{next_id++, fed::WorkloadType::kInference, r,
+                                  kNoClient, t + latency};
+    const auto i = store.serve(infer, t + latency);
+    latency += i.latency_s;
+
+    pipeline_latency.add(latency);
+    const auto accesses = f.hits + f.misses + s.hits + s.misses + i.hits +
+                          i.misses;
+    hit_rate.add(accesses == 0 ? 1.0
+                               : static_cast<double>(f.hits + s.hits + i.hits) /
+                                     static_cast<double>(accesses));
+    if (r % 5 == 0) {
+      table.add_row({std::to_string(r), std::to_string(f.output.selected.size()),
+                     std::to_string(s.output.selected.size()),
+                     i.output.summary.substr(0, 30), fmt(latency, 2)});
+    }
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  const auto lat = pipeline_latency.summary();
+  std::printf(
+      "\nPer-round pipeline latency: median %.2f s (q1 %.2f, q3 %.2f) — the\n"
+      "whole pipeline fits comfortably inside the %.0f s round interval.\n"
+      "Mean warm-hit rate: %.1f%%. Flagged %zu poisoned updates in total.\n",
+      lat.median, lat.q1, lat.q3, sim::kRoundIntervalS,
+      hit_rate.mean() * 100.0, flagged_total);
+  return 0;
+}

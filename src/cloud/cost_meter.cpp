@@ -1,0 +1,61 @@
+#include "cloud/cost_meter.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+const char* to_string(CostCategory c) noexcept {
+  switch (c) {
+    case CostCategory::kComputation: return "computation";
+    case CostCategory::kCommunication: return "communication";
+    case CostCategory::kStorageService: return "storage";
+    case CostCategory::kCacheService: return "cache_service";
+    case CostCategory::kKeepAlive: return "keep_alive";
+    case CostCategory::kCount: break;
+  }
+  return "?";
+}
+
+void CostMeter::charge(CostCategory cat, double usd) {
+  FLSTORE_CHECK(cat != CostCategory::kCount);
+  FLSTORE_CHECK(usd >= 0.0);
+  by_category_[static_cast<std::size_t>(cat)] += usd;
+}
+
+double CostMeter::total() const noexcept {
+  return std::accumulate(by_category_.begin(), by_category_.end(), 0.0);
+}
+
+double CostMeter::get(CostCategory cat) const noexcept {
+  if (cat == CostCategory::kCount) return 0.0;
+  return by_category_[static_cast<std::size_t>(cat)];
+}
+
+double CostMeter::serving() const noexcept {
+  return get(CostCategory::kComputation) + get(CostCategory::kCommunication);
+}
+
+CostMeter& CostMeter::operator+=(const CostMeter& other) noexcept {
+  for (std::size_t i = 0; i < by_category_.size(); ++i) {
+    by_category_[i] += other.by_category_[i];
+  }
+  return *this;
+}
+
+std::string CostMeter::breakdown() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  bool first = true;
+  for (std::size_t i = 0; i < by_category_.size(); ++i) {
+    if (!first) out << ", ";
+    first = false;
+    out << to_string(static_cast<CostCategory>(i)) << "=$" << by_category_[i];
+  }
+  return out.str();
+}
+
+}  // namespace flstore

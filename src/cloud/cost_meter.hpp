@@ -1,0 +1,43 @@
+// Cost accounting with per-category breakdown. The paper's cost figures
+// split per-request cost into communication vs computation (Figs 8, 16) and
+// total cost into compute/storage/transfer; every serving system charges
+// into one of these categories so breakdowns fall out for free.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace flstore {
+
+enum class CostCategory : int {
+  kComputation = 0,   ///< VM/function time spent computing
+  kCommunication,     ///< VM/function time spent waiting on transfers
+  kStorageService,    ///< object-store storage + request fees
+  kCacheService,      ///< provisioned cache node-hours
+  kKeepAlive,         ///< function keep-alive pings / replica upkeep
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(CostCategory c) noexcept;
+
+class CostMeter {
+ public:
+  void charge(CostCategory cat, double usd);
+
+  [[nodiscard]] double total() const noexcept;
+  [[nodiscard]] double get(CostCategory cat) const noexcept;
+
+  /// Sum of computation + communication (the per-request serving cost).
+  [[nodiscard]] double serving() const noexcept;
+
+  CostMeter& operator+=(const CostMeter& other) noexcept;
+  void reset() noexcept { by_category_.fill(0.0); }
+
+  [[nodiscard]] std::string breakdown() const;
+
+ private:
+  std::array<double, static_cast<std::size_t>(CostCategory::kCount)>
+      by_category_{};
+};
+
+}  // namespace flstore

@@ -1,0 +1,76 @@
+#include "cloud/memcache.hpp"
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+MemCacheService::MemCacheService(int nodes, Link access_link,
+                                 const PricingCatalog& pricing)
+    : nodes_(nodes),
+      capacity_(static_cast<units::Bytes>(nodes) * pricing.cache_node_capacity),
+      link_(access_link),
+      pricing_(&pricing) {
+  FLSTORE_CHECK(nodes >= 1);
+}
+
+void MemCacheService::evict_lru() {
+  FLSTORE_CHECK(!lru_.empty());
+  const std::string victim = lru_.back();
+  lru_.pop_back();
+  const auto it = entries_.find(victim);
+  FLSTORE_CHECK(it != entries_.end());
+  FLSTORE_CHECK(used_ >= it->second.logical_bytes);
+  used_ -= it->second.logical_bytes;
+  entries_.erase(it);
+  ++evictions_;
+}
+
+double MemCacheService::put(const std::string& name,
+                            std::shared_ptr<const Blob> blob,
+                            units::Bytes logical_bytes) {
+  FLSTORE_CHECK(blob != nullptr);
+  if (logical_bytes > capacity_) {
+    // Cannot ever fit; treat as a no-op write that still pays the hop.
+    return link_.transfer_time(logical_bytes);
+  }
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    used_ -= it->second.logical_bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  while (used_ + logical_bytes > capacity_) evict_lru();
+  lru_.push_front(name);
+  entries_.emplace(name, Entry{std::move(blob), logical_bytes, lru_.begin()});
+  used_ += logical_bytes;
+  return link_.transfer_time(logical_bytes);
+}
+
+MemCacheService::GetResult MemCacheService::get(const std::string& name) {
+  GetResult res;
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    ++misses_;
+    res.latency_s = link_.first_byte_latency_s;
+    return res;
+  }
+  ++hits_;
+  // Touch for LRU.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  it->second.lru_pos = lru_.begin();
+  res.hit = true;
+  res.blob = it->second.blob;
+  res.logical_bytes = it->second.logical_bytes;
+  res.latency_s = link_.transfer_time(it->second.logical_bytes);
+  return res;
+}
+
+bool MemCacheService::contains(const std::string& name) const noexcept {
+  return entries_.contains(name);
+}
+
+double MemCacheService::provisioning_cost(double seconds) const {
+  return pricing_->cache_nodes_cost(nodes_, seconds);
+}
+
+}  // namespace flstore

@@ -1,0 +1,76 @@
+// ElastiCache-style in-memory cache service.
+//
+// Faster per-object access than the object store, but (a) it is a *separate*
+// data plane — computation still happens on the aggregator VM, so every
+// request ships the data across the network — and (b) capacity is provisioned
+// in node-hours that bill whether or not requests arrive. Both properties
+// drive the paper's Cache-Agg baseline results (Fig 9, Fig 17).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/pricing.hpp"
+#include "common/units.hpp"
+#include "simnet/network.hpp"
+
+namespace flstore {
+
+using Blob = std::vector<std::uint8_t>;
+
+class MemCacheService {
+ public:
+  /// `nodes` r6g.xlarge-class nodes; capacity = nodes * per-node capacity.
+  MemCacheService(int nodes, Link access_link, const PricingCatalog& pricing);
+
+  struct GetResult {
+    bool hit = false;
+    std::shared_ptr<const Blob> blob;
+    units::Bytes logical_bytes = 0;
+    double latency_s = 0.0;
+  };
+
+  /// Insert with LRU eviction when over capacity (logical bytes).
+  /// Returns access latency. Objects larger than total capacity are rejected.
+  double put(const std::string& name, std::shared_ptr<const Blob> blob,
+             units::Bytes logical_bytes);
+
+  GetResult get(const std::string& name);
+
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+  [[nodiscard]] units::Bytes used() const noexcept { return used_; }
+  [[nodiscard]] units::Bytes capacity() const noexcept { return capacity_; }
+  [[nodiscard]] int nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Node-hour fee for `seconds` of provisioned service.
+  [[nodiscard]] double provisioning_cost(double seconds) const;
+
+ private:
+  void evict_lru();
+
+  int nodes_;
+  units::Bytes capacity_;
+  Link link_;
+  const PricingCatalog* pricing_;
+
+  struct Entry {
+    std::shared_ptr<const Blob> blob;
+    units::Bytes logical_bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  units::Bytes used_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace flstore

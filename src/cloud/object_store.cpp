@@ -1,0 +1,62 @@
+#include "cloud/object_store.hpp"
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+ObjectStore::PutResult ObjectStore::put(const std::string& name, Blob blob,
+                                        units::Bytes logical_bytes) {
+  const units::Bytes logical =
+      logical_bytes == 0 ? static_cast<units::Bytes>(blob.size())
+                         : logical_bytes;
+  PutResult res;
+  res.latency_s = link_.transfer_time(logical);
+  res.request_fee_usd = pricing_->s3_usd_per_put;
+  ++puts_;
+
+  auto [it, inserted] = objects_.try_emplace(name);
+  if (!inserted) {
+    FLSTORE_CHECK(stored_logical_ >= it->second.logical_bytes);
+    stored_logical_ -= it->second.logical_bytes;
+  }
+  it->second.blob = std::make_shared<const Blob>(std::move(blob));
+  it->second.logical_bytes = logical;
+  stored_logical_ += logical;
+  return res;
+}
+
+ObjectStore::GetResult ObjectStore::get(const std::string& name) {
+  GetResult res;
+  ++gets_;
+  res.request_fee_usd = pricing_->s3_usd_per_get;
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    // A miss still pays the control-plane round trip.
+    res.latency_s = link_.first_byte_latency_s;
+    return res;
+  }
+  res.found = true;
+  res.blob = it->second.blob;
+  res.logical_bytes = it->second.logical_bytes;
+  res.latency_s = link_.transfer_time(it->second.logical_bytes);
+  return res;
+}
+
+bool ObjectStore::contains(const std::string& name) const noexcept {
+  return objects_.contains(name);
+}
+
+bool ObjectStore::remove(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return false;
+  FLSTORE_CHECK(stored_logical_ >= it->second.logical_bytes);
+  stored_logical_ -= it->second.logical_bytes;
+  objects_.erase(it);
+  return true;
+}
+
+double ObjectStore::storage_cost(double seconds) const {
+  return pricing_->s3_storage_cost(stored_logical_, seconds);
+}
+
+}  // namespace flstore

@@ -1,0 +1,78 @@
+// S3/MinIO-style persistent object store.
+//
+// Objects carry both real bytes (the materialized payload workloads compute
+// on) and a *logical* size (the true model-checkpoint size) — latency and
+// storage cost are computed from the logical size, so the simulation sees
+// 161 MB objects while tests hold KB-scale vectors. See DESIGN.md §1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/pricing.hpp"
+#include "common/units.hpp"
+#include "simnet/network.hpp"
+
+namespace flstore {
+
+using Blob = std::vector<std::uint8_t>;
+
+class ObjectStore {
+ public:
+  ObjectStore(Link access_link, const PricingCatalog& pricing)
+      : link_(access_link), pricing_(&pricing) {}
+
+  struct PutResult {
+    double latency_s = 0.0;
+    double request_fee_usd = 0.0;
+  };
+  struct GetResult {
+    bool found = false;
+    std::shared_ptr<const Blob> blob;  ///< null if not found
+    units::Bytes logical_bytes = 0;
+    double latency_s = 0.0;
+    double request_fee_usd = 0.0;
+  };
+
+  /// Store (or overwrite) an object. `logical_bytes` defaults to blob size.
+  PutResult put(const std::string& name, Blob blob,
+                units::Bytes logical_bytes = 0);
+
+  GetResult get(const std::string& name);
+
+  /// Existence check without a simulated round trip (control-plane lookup).
+  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+  bool remove(const std::string& name);
+
+  [[nodiscard]] units::Bytes stored_logical_bytes() const noexcept {
+    return stored_logical_;
+  }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return objects_.size();
+  }
+  [[nodiscard]] std::uint64_t get_count() const noexcept { return gets_; }
+  [[nodiscard]] std::uint64_t put_count() const noexcept { return puts_; }
+
+  /// Storage fee for keeping the current contents for `seconds`.
+  [[nodiscard]] double storage_cost(double seconds) const;
+
+  [[nodiscard]] const Link& access_link() const noexcept { return link_; }
+
+ private:
+  struct Object {
+    std::shared_ptr<const Blob> blob;
+    units::Bytes logical_bytes = 0;
+  };
+  Link link_;
+  const PricingCatalog* pricing_;
+  std::unordered_map<std::string, Object> objects_;
+  units::Bytes stored_logical_ = 0;
+  std::uint64_t gets_ = 0;
+  std::uint64_t puts_ = 0;
+};
+
+}  // namespace flstore

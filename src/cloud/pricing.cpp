@@ -1,0 +1,55 @@
+#include "cloud/pricing.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+const PricingCatalog& PricingCatalog::aws() {
+  static const PricingCatalog catalog{};
+  return catalog;
+}
+
+double PricingCatalog::lambda_compute_cost(double seconds,
+                                           units::Bytes memory) const {
+  FLSTORE_CHECK(seconds >= 0.0);
+  const double gb = units::to_gb(memory);
+  return seconds * gb * lambda_usd_per_gb_second +
+         lambda_usd_per_million_invocations / 1e6;
+}
+
+double PricingCatalog::vm_time_cost(double seconds) const {
+  FLSTORE_CHECK(seconds >= 0.0);
+  return seconds * units::usd_per_hour(vm_usd_per_hour);
+}
+
+double PricingCatalog::s3_storage_cost(units::Bytes stored,
+                                       double seconds) const {
+  FLSTORE_CHECK(seconds >= 0.0);
+  return units::to_gb(stored) * units::usd_per_month(s3_usd_per_gb_month) *
+         seconds;
+}
+
+double PricingCatalog::cache_nodes_cost(int nodes, double seconds) const {
+  FLSTORE_CHECK(nodes >= 0);
+  FLSTORE_CHECK(seconds >= 0.0);
+  return static_cast<double>(nodes) * seconds *
+         units::usd_per_hour(cache_node_usd_per_hour);
+}
+
+int PricingCatalog::cache_nodes_for(units::Bytes working_set) const {
+  FLSTORE_CHECK(cache_node_capacity > 0);
+  if (working_set == 0) return 0;
+  return static_cast<int>(std::ceil(static_cast<double>(working_set) /
+                                    static_cast<double>(cache_node_capacity)));
+}
+
+double PricingCatalog::keepalive_cost(int instances, double seconds) const {
+  FLSTORE_CHECK(instances >= 0);
+  return static_cast<double>(instances) *
+         units::usd_per_month(lambda_keepalive_usd_per_instance_month) *
+         seconds;
+}
+
+}  // namespace flstore

@@ -1,0 +1,4 @@
+#include "cloud/vm_instance.hpp"
+
+// Header-only behaviour today; the translation unit anchors the vtable-free
+// class so future non-inline members have a home.

@@ -1,0 +1,43 @@
+// Dedicated aggregator VM (SageMaker ml.m5.4xlarge in the paper's baselines).
+// Bills by wall-clock hour regardless of utilization; executes workload
+// compute according to its ComputeProfile.
+#pragma once
+
+#include <string>
+
+#include "cloud/pricing.hpp"
+#include "common/compute_work.hpp"
+#include "common/units.hpp"
+
+namespace flstore {
+
+class VmInstance {
+ public:
+  VmInstance(std::string name, ComputeProfile profile,
+             const PricingCatalog& pricing)
+      : name_(std::move(name)), profile_(profile), pricing_(&pricing) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const ComputeProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Time to execute `work` on this instance.
+  [[nodiscard]] double execution_time(const ComputeWork& work) const {
+    return profile_.execution_time(work);
+  }
+
+  /// Instance-time cost of occupying this VM for `seconds` (whether it is
+  /// computing or blocked on I/O — that is exactly why communication-bound
+  /// baselines are expensive).
+  [[nodiscard]] double time_cost(double seconds) const {
+    return pricing_->vm_time_cost(seconds);
+  }
+
+ private:
+  std::string name_;
+  ComputeProfile profile_;
+  const PricingCatalog* pricing_;
+};
+
+}  // namespace flstore

@@ -1,0 +1,36 @@
+// A workload's computational footprint, independent of where it runs.
+//
+// Serving systems (aggregator VM, serverless function) turn this into time
+// via their own throughput parameters: t = bytes/mem_bw + flops/flop_rate.
+// The bytes term dominates for scan-style workloads (cosine similarity over
+// full updates), the flops term for iterative ones (clustering).
+#pragma once
+
+namespace flstore {
+
+struct ComputeWork {
+  double bytes_touched = 0.0;  ///< data scanned/deserialized at full model size
+  double flops = 0.0;          ///< arithmetic on top of the scan
+
+  ComputeWork& operator+=(const ComputeWork& o) noexcept {
+    bytes_touched += o.bytes_touched;
+    flops += o.flops;
+    return *this;
+  }
+  friend ComputeWork operator+(ComputeWork a, const ComputeWork& b) noexcept {
+    a += b;
+    return a;
+  }
+};
+
+/// Throughput of an execution venue.
+struct ComputeProfile {
+  double mem_bandwidth_bytes_per_s = 1.0;
+  double flops_per_s = 1.0;
+
+  [[nodiscard]] double execution_time(const ComputeWork& w) const noexcept {
+    return w.bytes_touched / mem_bandwidth_bytes_per_s + w.flops / flops_per_s;
+  }
+};
+
+}  // namespace flstore

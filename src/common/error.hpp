@@ -1,0 +1,47 @@
+// Error taxonomy. The simulation is deterministic, so most failures indicate
+// programming errors and throw; recoverable conditions (cache miss, function
+// reclaimed) are modelled as values, not exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace flstore {
+
+/// A caller violated an API precondition (bad configuration, unknown model,
+/// out-of-range round, ...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Internal invariant broken — always a bug in this library.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// A referenced object does not exist in the store being queried.
+class NotFound : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line) {
+  throw InternalError(std::string("FLSTORE_CHECK failed: ") + expr + " at " +
+                      file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace flstore
+
+/// Invariant check that stays on in release builds (the simulator's
+/// correctness is the product; a silent bad state poisons every result).
+#define FLSTORE_CHECK(expr)                                 \
+  do {                                                      \
+    if (!(expr)) {                                          \
+      ::flstore::detail::fail_check(#expr, __FILE__, __LINE__); \
+    }                                                       \
+  } while (false)

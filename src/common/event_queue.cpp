@@ -1,0 +1,34 @@
+#include "common/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+void EventQueue::schedule_at(double when, Action action) {
+  FLSTORE_CHECK(when >= now_);
+  heap_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top returns const&; move the action out via const_cast is
+  // UB-adjacent, so copy the handle then pop. Actions are small closures.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.when;
+  ev.action();
+  return true;
+}
+
+std::size_t EventQueue::run(double horizon) {
+  std::size_t executed = 0;
+  while (!heap_.empty()) {
+    if (horizon >= 0.0 && heap_.top().when > horizon) break;
+    step();
+    ++executed;
+  }
+  if (horizon >= 0.0 && now_ < horizon && heap_.empty()) now_ = horizon;
+  return executed;
+}
+
+}  // namespace flstore

@@ -1,0 +1,92 @@
+// Strong identifier vocabulary shared across the whole system.
+//
+// FL metadata is addressed by (client, round, kind). The CacheEngine maps
+// such keys onto serverless function instances, the persistent object store
+// maps them onto object names, and workloads declare their data needs as
+// lists of them (Table 1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace flstore {
+
+using ClientId = std::int32_t;    ///< index into the client pool; -1 = none
+using RoundId = std::int32_t;     ///< training round, 0-based; -1 = none
+using FunctionId = std::int32_t;  ///< serverless function instance; -1 = none
+using RequestId = std::uint64_t;  ///< non-training request, unique per trace
+using JobId = std::int32_t;       ///< FL job (multi-tenancy)
+
+inline constexpr ClientId kNoClient = -1;
+inline constexpr RoundId kNoRound = -1;
+inline constexpr FunctionId kNoFunction = -1;
+
+/// What a stored object contains. Sizes differ wildly: model state is
+/// hundreds of MB, scalar metadata a few KB (policy P4 exploits this).
+enum class ObjectKind : std::uint8_t {
+  ClientUpdate,     ///< one client's model update for one round
+  AggregatedModel,  ///< FedAvg output of one round
+  RoundMetadata,    ///< round hyperparameters + global training stats
+  ClientMetrics,    ///< one client's scalar metrics for one round (tiny)
+};
+
+[[nodiscard]] constexpr const char* to_string(ObjectKind k) noexcept {
+  switch (k) {
+    case ObjectKind::ClientUpdate: return "client_update";
+    case ObjectKind::AggregatedModel: return "aggregated_model";
+    case ObjectKind::RoundMetadata: return "round_metadata";
+    case ObjectKind::ClientMetrics: return "client_metrics";
+  }
+  return "?";
+}
+
+/// Addressable unit of FL metadata. Client is kNoClient for round-level
+/// objects (aggregated model, round metadata).
+struct MetadataKey {
+  ObjectKind kind = ObjectKind::ClientUpdate;
+  ClientId client = kNoClient;
+  RoundId round = kNoRound;
+
+  friend bool operator==(const MetadataKey&, const MetadataKey&) = default;
+  friend auto operator<=>(const MetadataKey&, const MetadataKey&) = default;
+
+  [[nodiscard]] static MetadataKey update(ClientId c, RoundId r) {
+    return {ObjectKind::ClientUpdate, c, r};
+  }
+  [[nodiscard]] static MetadataKey aggregate(RoundId r) {
+    return {ObjectKind::AggregatedModel, kNoClient, r};
+  }
+  [[nodiscard]] static MetadataKey metadata(RoundId r) {
+    return {ObjectKind::RoundMetadata, kNoClient, r};
+  }
+  [[nodiscard]] static MetadataKey metrics(ClientId c, RoundId r) {
+    return {ObjectKind::ClientMetrics, c, r};
+  }
+
+  /// Stable object-store name, e.g. "r000042/client_update/c017".
+  [[nodiscard]] std::string object_name() const {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "r%06d/%s/c%04d", round, to_string(kind),
+                  client);
+    return buf;
+  }
+};
+
+struct MetadataKeyHash {
+  [[nodiscard]] std::size_t operator()(const MetadataKey& k) const noexcept {
+    // FNV-1a over the three fields; cheap and well distributed for the
+    // small dense id spaces we use.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(static_cast<std::uint64_t>(k.kind));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.client)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.round)));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace flstore

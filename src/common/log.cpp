@@ -1,0 +1,29 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace flstore {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const char* name(LogLevel lv) {
+  switch (lv) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() noexcept { return g_level; }
+void Logger::set_level(LogLevel lv) noexcept { g_level = lv; }
+
+void Logger::write(LogLevel lv, const std::string& msg) {
+  if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", name(lv), msg.c_str());
+}
+
+}  // namespace flstore

@@ -1,0 +1,48 @@
+// Tiny leveled logger. Benches run quiet by default; tests can raise the
+// level to debug a scenario. Not thread-safe by design — the simulator is
+// single-threaded (virtual time), so synchronization would be dead weight.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace flstore {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel lv) noexcept;
+  static void write(LogLevel lv, const std::string& msg);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lv) : lv_(lv) {}
+  ~LogLine() { Logger::write(lv_, out_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lv_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace flstore
+
+#define FLSTORE_LOG(lv)                                      \
+  if (static_cast<int>(lv) < static_cast<int>(::flstore::Logger::level())) { \
+  } else                                                     \
+    ::flstore::detail::LogLine(lv)
+
+#define FLSTORE_DEBUG FLSTORE_LOG(::flstore::LogLevel::kDebug)
+#define FLSTORE_INFO FLSTORE_LOG(::flstore::LogLevel::kInfo)
+#define FLSTORE_WARN FLSTORE_LOG(::flstore::LogLevel::kWarn)

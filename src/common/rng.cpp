@@ -1,0 +1,66 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FLSTORE_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+double Rng::exponential(double rate) {
+  FLSTORE_CHECK(rate > 0.0);
+  std::exponential_distribution<double> d(rate);
+  return d(engine_);
+}
+
+std::vector<std::int32_t> Rng::sample_without_replacement(std::int32_t n,
+                                                          std::int32_t k) {
+  FLSTORE_CHECK(k >= 0 && k <= n);
+  // Partial Fisher-Yates over an index vector: O(n) setup, O(k) draws.
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (std::int32_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(uniform_int(i, n - 1));
+    std::swap(idx[static_cast<std::size_t>(i)], idx[j]);
+  }
+  idx.resize(static_cast<std::size_t>(k));
+  return idx;
+}
+
+ZipfDistribution::ZipfDistribution(std::int32_t n, double exponent) {
+  FLSTORE_CHECK(n > 0);
+  FLSTORE_CHECK(exponent >= 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent);
+    cdf_[static_cast<std::size_t>(i)] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::int32_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::int32_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::int32_t rank) const {
+  FLSTORE_CHECK(rank >= 0 && rank < size());
+  const auto i = static_cast<std::size_t>(rank);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace flstore

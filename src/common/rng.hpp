@@ -1,0 +1,76 @@
+// Deterministic randomness for the whole simulation.
+//
+// Every stochastic component takes an Rng (or a seed) explicitly; there is no
+// global generator, so experiments are reproducible and components can be
+// re-seeded independently (e.g. the fault injector vs. the trace generator).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace flstore {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent child stream; used to give each subsystem its own
+  /// generator so adding draws in one place does not perturb another.
+  [[nodiscard]] Rng fork(std::uint64_t salt) {
+    return Rng(engine_() ^ (salt * 0x9E3779B97F4A7C15ULL));
+  }
+
+  [[nodiscard]] double uniform() { return unit_(engine_); }
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  [[nodiscard]] double normal(double mean, double stddev);
+  /// Exponential inter-arrival time with the given rate (events/sec).
+  [[nodiscard]] double exponential(double rate);
+  [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) uniformly.
+  [[nodiscard]] std::vector<std::int32_t> sample_without_replacement(
+      std::int32_t n, std::int32_t k);
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+/// Zipfian sampler over ranks {0, ..., n-1}: P(rank i) ∝ 1/(i+1)^s.
+///
+/// Used by the fault injector: measurement studies on AWS Lambda observed
+/// Zipf-distributed reclamation across function instances (InfiniCache,
+/// FAST'20), which the paper adopts for its fault-tolerance experiments.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::int32_t n, double exponent);
+
+  [[nodiscard]] std::int32_t operator()(Rng& rng) const;
+  [[nodiscard]] std::int32_t size() const noexcept {
+    return static_cast<std::int32_t>(cdf_.size());
+  }
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::int32_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace flstore

@@ -1,0 +1,64 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+void SampleSet::add_n(double v, std::size_t n) {
+  values_.insert(values_.end(), n, v);
+  sorted_ = false;
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double SampleSet::mean() const {
+  FLSTORE_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  FLSTORE_CHECK(!values_.empty());
+  FLSTORE_CHECK(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (values_.size() == 1) return values_[0];
+  const double pos = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+Summary SampleSet::summary() const {
+  FLSTORE_CHECK(!values_.empty());
+  ensure_sorted();
+  Summary s;
+  s.count = values_.size();
+  s.min = values_.front();
+  s.q1 = percentile(25.0);
+  s.median = percentile(50.0);
+  s.q3 = percentile(75.0);
+  s.max = values_.back();
+  s.sum = sum();
+  s.mean = s.sum / static_cast<double>(s.count);
+  return s;
+}
+
+double percent_reduction(double baseline, double ours) {
+  FLSTORE_CHECK(baseline != 0.0);
+  return (baseline - ours) / baseline * 100.0;
+}
+
+}  // namespace flstore

@@ -1,0 +1,54 @@
+// Descriptive statistics used by the benchmark harness: the paper reports
+// boxplot-style distributions (median + quartiles) per workload and totals
+// over 50-hour traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace flstore {
+
+/// Five-number summary plus mean, computed once from a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< 25th percentile
+  double median = 0.0;  ///< 50th percentile
+  double q3 = 0.0;      ///< 75th percentile
+  double max = 0.0;
+  double mean = 0.0;
+  double sum = 0.0;
+};
+
+/// Accumulates samples and produces summaries / percentiles.
+/// Keeps all samples (traces here are ≤ a few hundred thousand points).
+class SampleSet {
+ public:
+  void add(double v) {
+    values_.push_back(v);
+    sorted_ = false;
+  }
+  void add_n(double v, std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  /// Linear-interpolated percentile, p in [0,100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] Summary summary() const;
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Percent reduction of `ours` relative to `baseline` (positive = better).
+[[nodiscard]] double percent_reduction(double baseline, double ours);
+
+}  // namespace flstore

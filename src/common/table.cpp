@@ -1,0 +1,128 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FLSTORE_CHECK(!headers_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  FLSTORE_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = 0;
+  if (s[0] == '$' || s[0] == '-' || s[0] == '+') i = 1;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '%' && c != ',' && c != 'e' && c != '-' &&
+               c != '+' && c != 'x') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = width[c] - row[c].size();
+      out << ' ';
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+      out << " |";
+    }
+    out << '\n';
+  };
+  auto emit_rule = [&] {
+    out << '+';
+    for (const auto w : width) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+
+  emit_rule();
+  emit_row(headers_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      // Cells never contain commas/quotes in this codebase; keep it simple.
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_usd(double v) {
+  char buf[64];
+  if (v != 0.0 && v < 0.001 && v > -0.001) {
+    std::snprintf(buf, sizeof buf, "$%.6f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "$%.4f", v);
+  }
+  return buf;
+}
+
+std::string fmt_pct(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v);
+  return buf;
+}
+
+std::string fmt_bytes(double mb) {
+  char buf[64];
+  if (mb >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", mb / 1000.0);
+  } else if (mb >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", mb);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f KB", mb * 1000.0);
+  }
+  return buf;
+}
+
+}  // namespace flstore

@@ -1,0 +1,36 @@
+// ASCII table rendering for the benchmark harness. Every bench prints the
+// paper's rows through this so output stays uniform and diff-able.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flstore {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment; numeric-looking cells right-aligned.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render rows as CSV (headers first). Used by benches that also persist
+  /// machine-readable results next to the pretty table.
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used by bench rows.
+[[nodiscard]] std::string fmt(double v, int precision = 2);
+[[nodiscard]] std::string fmt_usd(double v);      // "$0.0123" (4 sig decimals)
+[[nodiscard]] std::string fmt_pct(double v);      // "92.4%"
+[[nodiscard]] std::string fmt_bytes(double mb);   // "161.2 MB" / "1.58 GB"
+
+}  // namespace flstore

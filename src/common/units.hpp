@@ -1,0 +1,52 @@
+// Units used across the simulation. Time is seconds (double), data sizes are
+// bytes (std::uint64_t), money is USD (double). Helpers keep call sites
+// readable: `256 * MiB`, `hours(50)`, `usd_per_hour(0.922)`.
+#pragma once
+
+#include <cstdint>
+
+namespace flstore::units {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes KiB = 1024ULL;
+inline constexpr Bytes MiB = 1024ULL * KiB;
+inline constexpr Bytes GiB = 1024ULL * MiB;
+inline constexpr Bytes TiB = 1024ULL * GiB;
+
+// Decimal units: cloud pricing and the paper's "161 MB" figures are decimal.
+inline constexpr Bytes KB = 1000ULL;
+inline constexpr Bytes MB = 1000ULL * KB;
+inline constexpr Bytes GB = 1000ULL * MB;
+inline constexpr Bytes TB = 1000ULL * GB;
+
+[[nodiscard]] constexpr double to_mb(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(MB);
+}
+[[nodiscard]] constexpr double to_gb(Bytes b) noexcept {
+  return static_cast<double>(b) / static_cast<double>(GB);
+}
+[[nodiscard]] constexpr Bytes mb(double v) noexcept {
+  return static_cast<Bytes>(v * static_cast<double>(MB));
+}
+[[nodiscard]] constexpr Bytes gb(double v) noexcept {
+  return static_cast<Bytes>(v * static_cast<double>(GB));
+}
+
+// --- time ----------------------------------------------------------------
+[[nodiscard]] constexpr double minutes(double m) noexcept { return m * 60.0; }
+[[nodiscard]] constexpr double hours(double h) noexcept { return h * 3600.0; }
+[[nodiscard]] constexpr double days(double d) noexcept { return d * 86400.0; }
+[[nodiscard]] constexpr double ms(double v) noexcept { return v * 1e-3; }
+
+// --- money ---------------------------------------------------------------
+/// Convert an hourly price into $/second (how the cost meter accrues).
+[[nodiscard]] constexpr double usd_per_hour(double rate) noexcept {
+  return rate / 3600.0;
+}
+/// Convert a monthly price (30-day month, AWS convention) into $/second.
+[[nodiscard]] constexpr double usd_per_month(double rate) noexcept {
+  return rate / (30.0 * 86400.0);
+}
+
+}  // namespace flstore::units

@@ -1,0 +1,40 @@
+#include "core/adaptive_policy.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace flstore::core {
+
+fed::PolicyClass AdaptivePolicySelector::choose() {
+  if (rng_.bernoulli(config_.epsilon)) {
+    return static_cast<fed::PolicyClass>(rng_.uniform_int(0, 3));
+  }
+  return best();
+}
+
+fed::PolicyClass AdaptivePolicySelector::best() const {
+  std::size_t arg = 0;
+  for (std::size_t i = 1; i < means_.size(); ++i) {
+    if (means_[i] > means_[arg]) arg = i;
+  }
+  return static_cast<fed::PolicyClass>(arg);
+}
+
+void AdaptivePolicySelector::report(fed::PolicyClass cls, double hit_rate) {
+  FLSTORE_CHECK(hit_rate >= 0.0 && hit_rate <= 1.0);
+  const auto i = static_cast<std::size_t>(cls);
+  ++counts_[i];
+  // Incremental mean; the optimistic prior washes out after the first pull.
+  if (counts_[i] == 1) {
+    means_[i] = hit_rate;
+  } else {
+    means_[i] += (hit_rate - means_[i]) / static_cast<double>(counts_[i]);
+  }
+}
+
+std::uint64_t AdaptivePolicySelector::total_pulls() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+}  // namespace flstore::core

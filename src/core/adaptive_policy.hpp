@@ -1,0 +1,60 @@
+// Adaptive caching-policy selection for *unknown* workloads — the paper's
+// future-work direction ("incorporating a Reinforcement Learning ... agent
+// ... to adapt policies for outlier workloads", §4.4 / Appendix D),
+// implemented here as an epsilon-greedy multi-armed bandit over the four
+// policy classes.
+//
+// Known workloads keep the Table-1 mapping. For a workload type the
+// taxonomy has no entry for, the selector tries policy classes and learns
+// from the observed per-request hit rate (the reward FLStore can measure
+// for free), converging to whichever class matches the workload's access
+// pattern.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "fed/request.hpp"
+
+namespace flstore::core {
+
+class AdaptivePolicySelector {
+ public:
+  struct Config {
+    double epsilon = 0.1;           ///< exploration rate
+    double initial_optimism = 1.0;  ///< optimistic init drives exploration
+    std::uint64_t seed = 17;
+  };
+
+  AdaptivePolicySelector() : AdaptivePolicySelector(Config{}) {}
+  explicit AdaptivePolicySelector(Config config)
+      : config_(config), rng_(config.seed) {
+    means_.fill(config.initial_optimism);
+    counts_.fill(0);
+  }
+
+  /// Choose a policy class for the next request of the unknown workload.
+  [[nodiscard]] fed::PolicyClass choose();
+
+  /// Report the observed reward (hit rate in [0,1]) for a served request
+  /// under `cls`.
+  void report(fed::PolicyClass cls, double hit_rate);
+
+  [[nodiscard]] fed::PolicyClass best() const;
+  [[nodiscard]] double mean_reward(fed::PolicyClass cls) const {
+    return means_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] std::uint64_t pulls(fed::PolicyClass cls) const {
+    return counts_[static_cast<std::size_t>(cls)];
+  }
+  [[nodiscard]] std::uint64_t total_pulls() const;
+
+ private:
+  Config config_;
+  Rng rng_;
+  std::array<double, 4> means_{};
+  std::array<std::uint64_t, 4> counts_{};
+};
+
+}  // namespace flstore::core

@@ -1,0 +1,158 @@
+#include "core/cache_engine.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace flstore::core {
+
+CacheEngine::LookupResult CacheEngine::lookup(const MetadataKey& key,
+                                              double now) {
+  ++clock_;
+  LookupResult res;
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return res;
+  }
+  auto access = pool_->get(it->second.group, key.object_name());
+  res.failover_delay_s = access.failover_delay_s;
+  if (!access.ok) {
+    // The group died (or a replica lost the object): index entry is stale.
+    FLSTORE_CHECK(bytes_ >= it->second.logical_bytes);
+    bytes_ -= it->second.logical_bytes;
+    index_.erase(it);
+    ++misses_;
+    return res;
+  }
+  it->second.last_access = clock_;
+  ++it->second.accesses;
+  ++hits_;
+  res.hit = true;
+  res.group = it->second.group;
+  res.function = access.function;
+  res.blob = std::move(access.blob);
+  res.available_at = std::max(it->second.available_at, now);
+  return res;
+}
+
+bool CacheEngine::cache_object(const MetadataKey& key,
+                               std::shared_ptr<const Blob> blob,
+                               units::Bytes logical_bytes, double now,
+                               double available_at, bool pinned,
+                               bool opportunistic) {
+  FLSTORE_CHECK(blob != nullptr);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: content is immutable per key in FL metadata, so this only
+    // bumps recency (and possibly the availability time forward to `now`).
+    ++clock_;
+    it->second.last_access = clock_;
+    it->second.available_at = std::min(it->second.available_at, available_at);
+    it->second.pinned = it->second.pinned || pinned;
+    return true;
+  }
+  if (config_.capacity > 0) {
+    if (opportunistic && bytes_ + logical_bytes > config_.capacity) {
+      return false;
+    }
+    while (bytes_ + logical_bytes > config_.capacity && !index_.empty()) {
+      evict_victim();
+    }
+    if (bytes_ + logical_bytes > config_.capacity) return false;
+  }
+  const auto group = pool_->put(key.object_name(), std::move(blob),
+                                logical_bytes);
+  if (!group.has_value()) return false;
+  ++clock_;
+  Entry e;
+  e.group = *group;
+  e.logical_bytes = logical_bytes;
+  e.available_at = std::max(available_at, now);
+  e.last_access = clock_;
+  e.inserted = clock_;
+  e.accesses = 0;
+  e.pinned = pinned;
+  index_.emplace(key, e);
+  bytes_ += logical_bytes;
+  return true;
+}
+
+bool CacheEngine::evict(const MetadataKey& key, bool include_pinned) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (it->second.pinned && !include_pinned) return false;
+  pool_->evict(it->second.group, key.object_name());
+  FLSTORE_CHECK(bytes_ >= it->second.logical_bytes);
+  bytes_ -= it->second.logical_bytes;
+  index_.erase(it);
+  return true;
+}
+
+void CacheEngine::evict_victim() {
+  FLSTORE_CHECK(!index_.empty());
+  auto victim = index_.begin();
+  auto score = [this](const Entry& e) -> std::uint64_t {
+    switch (config_.eviction_order) {
+      case PolicyMode::kLfu: return e.accesses;
+      case PolicyMode::kFifo: return e.inserted;
+      default: return e.last_access;  // LRU for everything else
+    }
+  };
+  if (config_.round_aware_eviction) {
+    // Oldest round first; recency only breaks ties within a round.
+    auto best_round = std::numeric_limits<RoundId>::max();
+    auto best_recency = std::numeric_limits<std::uint64_t>::max();
+    for (auto it = index_.begin(); it != index_.end(); ++it) {
+      const auto r = it->first.round;
+      const auto a = it->second.last_access;
+      if (r < best_round || (r == best_round && a < best_recency)) {
+        best_round = r;
+        best_recency = a;
+        victim = it;
+      }
+    }
+    pool_->evict(victim->second.group, victim->first.object_name());
+    FLSTORE_CHECK(bytes_ >= victim->second.logical_bytes);
+    bytes_ -= victim->second.logical_bytes;
+    index_.erase(victim);
+    ++forced_evictions_;
+    return;
+  }
+  auto best = std::numeric_limits<std::uint64_t>::max();
+  for (auto it = index_.begin(); it != index_.end(); ++it) {
+    const auto s = score(it->second);
+    if (s < best) {
+      best = s;
+      victim = it;
+    }
+  }
+  pool_->evict(victim->second.group, victim->first.object_name());
+  FLSTORE_CHECK(bytes_ >= victim->second.logical_bytes);
+  bytes_ -= victim->second.logical_bytes;
+  index_.erase(victim);
+  ++forced_evictions_;
+}
+
+std::size_t CacheEngine::drop_group(GroupId group) {
+  std::size_t dropped = 0;
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.group == group) {
+      FLSTORE_CHECK(bytes_ >= it->second.logical_bytes);
+      bytes_ -= it->second.logical_bytes;
+      it = index_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::size_t CacheEngine::bookkeeping_bytes() const noexcept {
+  // Hash-map node: key + entry + bucket overhead (~2 pointers).
+  return index_.size() * (sizeof(MetadataKey) + sizeof(Entry) + 2 * sizeof(void*)) +
+         index_.bucket_count() * sizeof(void*);
+}
+
+}  // namespace flstore::core

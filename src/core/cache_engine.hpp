@@ -1,0 +1,121 @@
+// Cache Engine (§4.2): the hash table mapping metadata keys to the function
+// groups caching them, plus hot/cold filtering, capacity enforcement and the
+// hit/miss accounting behind Table 2.
+//
+// The engine is storage-policy agnostic: tailored plans call cache_object /
+// evict explicitly, while traditional modes rely on demand_fill plus
+// victim selection in LRU/LFU/FIFO order under capacity pressure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "core/policy.hpp"
+#include "core/serverless_cache.hpp"
+
+namespace flstore::core {
+
+class CacheEngine {
+ public:
+  struct Config {
+    /// Total cached-bytes cap; 0 = unbounded (grow the pool on demand).
+    /// FLStore-limited halves the footprint through this knob.
+    units::Bytes capacity = 0;
+    /// Victim order under capacity pressure.
+    PolicyMode eviction_order = PolicyMode::kLru;
+    /// FL-aware victim selection (tailored modes): evict the oldest round
+    /// first — old rounds are the least likely to be requested again, so a
+    /// capacity-squeezed cache keeps the training frontier resident.
+    bool round_aware_eviction = false;
+  };
+
+  CacheEngine(Config config, ServerlessCachePool& pool)
+      : config_(config), pool_(&pool) {}
+
+  struct LookupResult {
+    bool hit = false;
+    GroupId group = kNoGroup;
+    FunctionId function = kNoFunction;
+    std::shared_ptr<const Blob> blob;
+    double available_at = 0.0;      ///< prefetch-in-flight completion time
+    double failover_delay_s = 0.0;  ///< dead replicas tried
+  };
+
+  /// Demand access (counts toward hit/miss statistics).
+  [[nodiscard]] LookupResult lookup(const MetadataKey& key, double now);
+
+  /// Insert an object (write-allocate, prefetch or demand fill). Evicts
+  /// victims per eviction_order when over capacity. `available_at` models
+  /// asynchronous arrival (prefetches land a fetch-latency later).
+  /// `pinned` entries survive window-maintenance evictions (P3 client
+  /// tracks must not be washed out by the P2 round window).
+  /// `opportunistic` inserts (prefetches) never evict resident data: on a
+  /// capacity-squeezed cache, speculation must not displace the working set
+  /// that is being served right now.
+  /// Returns false if the object could not be placed.
+  bool cache_object(const MetadataKey& key, std::shared_ptr<const Blob> blob,
+                    units::Bytes logical_bytes, double now,
+                    double available_at = 0.0, bool pinned = false,
+                    bool opportunistic = false);
+
+  /// Drop a key if cached. `include_pinned = false` is the window-
+  /// maintenance flavour that leaves pinned client tracks alone.
+  /// Returns true when something was evicted.
+  bool evict(const MetadataKey& key, bool include_pinned = true);
+
+  [[nodiscard]] bool contains(const MetadataKey& key) const noexcept {
+    return index_.contains(key);
+  }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return index_.size();
+  }
+  [[nodiscard]] units::Bytes cached_bytes() const noexcept { return bytes_; }
+
+  // Statistics (object-access granularity, as in Table 2).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t forced_evictions() const noexcept {
+    return forced_evictions_;
+  }
+  void reset_stats() noexcept {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  /// Fault path: a pool group died; drop every index entry it held.
+  /// Returns the number of objects lost.
+  std::size_t drop_group(GroupId group);
+
+  /// Approximate resident footprint of the engine's own bookkeeping
+  /// (§5.5's overhead numbers).
+  [[nodiscard]] std::size_t bookkeeping_bytes() const noexcept;
+
+ private:
+  struct Entry {
+    GroupId group = kNoGroup;
+    units::Bytes logical_bytes = 0;
+    double available_at = 0.0;
+    std::uint64_t last_access = 0;  ///< LRU
+    std::uint64_t inserted = 0;     ///< FIFO
+    std::uint64_t accesses = 0;     ///< LFU
+    bool pinned = false;            ///< survives window evictions
+  };
+
+  void evict_victim();
+
+  Config config_;
+  ServerlessCachePool* pool_;
+  std::unordered_map<MetadataKey, Entry, MetadataKeyHash> index_;
+  units::Bytes bytes_ = 0;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t forced_evictions_ = 0;
+};
+
+}  // namespace flstore::core

@@ -1,0 +1,129 @@
+// FLStore facade — the public API of the paper's system.
+//
+// Wires the Request Tracker, Cache Engine and Serverless Cache pool over a
+// persistent object store (Fig 5). Training rounds stream in through
+// ingest_round (client updates + async cold-store backup); non-training
+// requests are served with locality-aware execution on the functions that
+// cache the data, with policy-driven prefetch/evict around each request.
+//
+// Quickstart:
+//   fed::FLJob job(cfg);
+//   ObjectStore cold(link, PricingCatalog::aws());
+//   core::FLStore store(core::FLStoreConfig{}, job, cold);
+//   store.ingest_round(job.make_round(0), /*now=*/0.0);
+//   auto res = store.serve(request, /*now=*/1.0);
+//   // res.latency_s, res.cost_usd, res.output.summary
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "cloud/cost_meter.hpp"
+#include "cloud/object_store.hpp"
+#include "core/cache_engine.hpp"
+#include "core/policy.hpp"
+#include "core/request_tracker.hpp"
+#include "core/serverless_cache.hpp"
+#include "fed/fl_job.hpp"
+#include "workloads/workload.hpp"
+
+namespace flstore::core {
+
+struct FLStoreConfig {
+  PolicyConfig policy;
+  ServerlessCachePool::Config pool;
+  /// Cache capacity cap in bytes; 0 = grow on demand. FLStore-limited runs
+  /// with this set to half the tailored working set.
+  units::Bytes cache_capacity = 0;
+  /// Request routing + tracker/engine lookups (§5.5: sub-millisecond).
+  double routing_overhead_s = 0.002;
+  /// Bandwidth between functions when a request's data spans groups.
+  double intra_dc_bandwidth_bps = 1.0e9;
+  /// Repair replica groups automatically after a failover.
+  bool auto_repair = true;
+  /// How long a P3 client track stays active after its last request.
+  /// While active, ingest pins the tracked client's new data (Fig 6,
+  /// step ② — the Cache Engine consults incoming-request info).
+  double track_ttl_s = 2.0 * 3600.0;
+};
+
+struct ServeResult {
+  double latency_s = 0.0;  ///< comm_s + comp_s
+  double comm_s = 0.0;     ///< routing, failover, misses, prefetch waits
+  double comp_s = 0.0;     ///< locality-aware execution on the function
+  double cost_usd = 0.0;   ///< function GB-s + store request fees
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  workloads::WorkloadOutput output;
+  FunctionId executed_on = kNoFunction;
+};
+
+class FLStore {
+ public:
+  /// `dir` is the training job (round directory + model); `cold_store` is
+  /// the persistent data plane. Both must outlive the facade.
+  FLStore(FLStoreConfig config, const fed::FLJob& job,
+          ObjectStore& cold_store);
+
+  /// Stream a finished training round in: async backup of every object to
+  /// the cold store plus policy-driven write-allocation into the cache.
+  void ingest_round(const fed::RoundRecord& record, double now);
+
+  /// Serve one non-training request.
+  ServeResult serve(const fed::NonTrainingRequest& req, double now);
+
+  /// Reclaim the rank-th function instance (Zipf fault injection).
+  /// Returns true if a whole replica group died with it.
+  bool inject_fault(std::int32_t function_rank);
+
+  /// Keep-alive + cold-storage fees for an interval of `seconds`.
+  [[nodiscard]] double infrastructure_cost(double seconds) const;
+
+  [[nodiscard]] const CacheEngine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] const RequestTracker& tracker() const noexcept {
+    return tracker_;
+  }
+  [[nodiscard]] const ServerlessCachePool& pool() const noexcept {
+    return *pool_;
+  }
+  [[nodiscard]] const FunctionRuntime& runtime() const noexcept {
+    return runtime_;
+  }
+  [[nodiscard]] const CostMeter& infra_meter() const noexcept {
+    return infra_meter_;
+  }
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+  [[nodiscard]] std::uint64_t refetches() const noexcept { return refetches_; }
+  [[nodiscard]] const FLStoreConfig& config() const noexcept { return config_; }
+
+ private:
+  struct FetchOutcome {
+    std::shared_ptr<const Blob> blob;
+    units::Bytes logical_bytes = 0;
+    double latency_s = 0.0;
+  };
+  /// Synchronous cold-store fetch (miss path); charges fees to `meter`.
+  FetchOutcome fetch_cold(const MetadataKey& key, CostMeter& meter);
+
+  FLStoreConfig config_;
+  const fed::FLJob* job_;
+  ObjectStore* cold_;
+  FunctionRuntime runtime_;
+  std::unique_ptr<ServerlessCachePool> pool_;
+  std::unique_ptr<CacheEngine> engine_;
+  RequestTracker tracker_;
+  CostMeter infra_meter_;  ///< fees not attributable to one request
+  /// Active P3 client tracks: client -> last request time. Ingest pins new
+  /// rounds of tracked clients so across-round workloads keep hitting at
+  /// the training frontier.
+  std::unordered_map<ClientId, double> p3_tracks_;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t refetches_ = 0;
+};
+
+/// Function runtime profile for a model's §5.1 sizing class.
+[[nodiscard]] FunctionRuntime::Config function_runtime_config(
+    const ModelSpec& model);
+
+}  // namespace flstore::core

@@ -1,0 +1,41 @@
+#include "core/multi_tenant.hpp"
+
+#include "common/error.hpp"
+
+namespace flstore::core {
+
+TenantId MultiTenantFLStore::add_tenant(const fed::FLJob& job,
+                                        FLStoreConfig config) {
+  const auto id = next_id_++;
+  auto [it, inserted] = tenants_.emplace(
+      id, std::make_unique<FLStore>(config, job, *cold_));
+  FLSTORE_CHECK(inserted);
+  (void)it;
+  return id;
+}
+
+FLStore& MultiTenantFLStore::tenant(TenantId id) {
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    throw InvalidArgument("unknown tenant " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+const FLStore& MultiTenantFLStore::tenant(TenantId id) const {
+  const auto it = tenants_.find(id);
+  if (it == tenants_.end()) {
+    throw InvalidArgument("unknown tenant " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+double MultiTenantFLStore::infrastructure_cost(double seconds) const {
+  double total = 0.0;
+  for (const auto& [_, store] : tenants_) {
+    total += store->infrastructure_cost(seconds);
+  }
+  return total;
+}
+
+}  // namespace flstore::core

@@ -1,0 +1,56 @@
+// Multi-tenancy (Appendix A): "the serverless computing paradigm inherently
+// provides isolation, allowing each user to create an isolated cache on the
+// same FLStore instance ... enabl[ing] customized caching policies per
+// non-training workload/application."
+//
+// A MultiTenantFLStore hosts one isolated FLStore (own function pool, own
+// cache engine, own policy configuration) per registered job, over a shared
+// persistent store. Tenants cannot see each other's cached data; the only
+// shared resource is the cold tier.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/flstore.hpp"
+
+namespace flstore::core {
+
+using TenantId = std::int32_t;
+
+class MultiTenantFLStore {
+ public:
+  explicit MultiTenantFLStore(ObjectStore& shared_cold_store)
+      : cold_(&shared_cold_store) {}
+
+  /// Register a tenant with its own job and policy configuration.
+  /// The job must outlive this registry. Throws on duplicate ids.
+  TenantId add_tenant(const fed::FLJob& job, FLStoreConfig config = {});
+
+  [[nodiscard]] FLStore& tenant(TenantId id);
+  [[nodiscard]] const FLStore& tenant(TenantId id) const;
+  [[nodiscard]] bool has_tenant(TenantId id) const noexcept {
+    return tenants_.contains(id);
+  }
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.size();
+  }
+
+  void ingest_round(TenantId id, const fed::RoundRecord& record, double now) {
+    tenant(id).ingest_round(record, now);
+  }
+  ServeResult serve(TenantId id, const fed::NonTrainingRequest& req,
+                    double now) {
+    return tenant(id).serve(req, now);
+  }
+
+  /// Combined keep-alive cost of every tenant's warm functions.
+  [[nodiscard]] double infrastructure_cost(double seconds) const;
+
+ private:
+  ObjectStore* cold_;
+  std::unordered_map<TenantId, std::unique_ptr<FLStore>> tenants_;
+  TenantId next_id_ = 0;
+};
+
+}  // namespace flstore::core

@@ -1,0 +1,163 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flstore::core {
+
+namespace {
+
+/// P2 request plan: prefetch all of round r+1, evict rounds that slid out
+/// of the two-round window (Fig 6, example 1). r-1 stays cached — debugging
+/// and incentive settlement diff the current round against it.
+void plan_p2(const fed::NonTrainingRequest& req, const fed::RoundDirectory& dir,
+             RequestPlan& plan) {
+  const auto next = req.round + 1;
+  if (next <= dir.latest_round()) {
+    for (const auto c : dir.participants(next)) {
+      plan.prefetch.push_back(MetadataKey::update(c, next));
+    }
+    plan.prefetch.push_back(MetadataKey::aggregate(next));
+  }
+  if (req.round > 1) {
+    for (const auto c : dir.participants(req.round - 2)) {
+      plan.evict.push_back(MetadataKey::update(c, req.round - 2));
+    }
+  }
+}
+
+/// P3 request plan: prefetch the tracked client's next participation rounds
+/// (two of them — consecutive tracking requests can skip a participation
+/// when the client trains faster than it is audited), evict its older
+/// entries (Fig 6, example 2).
+void plan_p3(const fed::NonTrainingRequest& req, const fed::RoundDirectory& dir,
+             RequestPlan& plan) {
+  if (req.client == kNoClient) return;
+  RoundId cursor = req.round;
+  for (int ahead = 0; ahead < 2; ++ahead) {
+    const auto next = dir.next_participation(req.client, cursor);
+    if (!next.has_value()) break;
+    plan.prefetch.push_back(MetadataKey::update(req.client, *next));
+    plan.prefetch.push_back(MetadataKey::metrics(req.client, *next));
+    // Alignment-style trackers (reputation) compare the client's update to
+    // that round's aggregate; keep it in the track's working set.
+    plan.prefetch.push_back(MetadataKey::aggregate(*next));
+    cursor = *next;
+  }
+  // Evict this client's trail older than the previous participation.
+  const auto window = dir.participation_window(req.client, req.round, 3);
+  for (const auto r : window) {
+    if (r + 1 < req.round && r != req.round) {
+      plan.evict.push_back(MetadataKey::update(req.client, r));
+      plan.evict.push_back(MetadataKey::metrics(req.client, r));
+      plan.evict.push_back(MetadataKey::aggregate(r));
+    }
+  }
+}
+
+/// P1 request plan: make sure the aggregate the request used stays, nothing
+/// else to do (the ingest plan keeps the newest aggregate cached).
+void plan_p1(const fed::NonTrainingRequest&, const fed::RoundDirectory&,
+             RequestPlan&) {}
+
+/// P4 request plan: the metadata window is maintained at ingest; nothing to
+/// prefetch per request.
+void plan_p4(const fed::NonTrainingRequest&, const fed::RoundDirectory&,
+             RequestPlan&) {}
+
+}  // namespace
+
+fed::PolicyClass PolicyEngine::effective_class(
+    const fed::NonTrainingRequest& req) {
+  switch (config_.mode) {
+    case PolicyMode::kTailored:
+      return fed::policy_class_for(req.type);
+    case PolicyMode::kTailoredStatic:
+      return config_.static_class;
+    case PolicyMode::kTailoredRandom: {
+      const auto pick = rng_.uniform_int(0, 3);
+      return static_cast<fed::PolicyClass>(pick);
+    }
+    case PolicyMode::kLru:
+    case PolicyMode::kLfu:
+    case PolicyMode::kFifo:
+      break;
+  }
+  throw InternalError("effective_class called for a traditional mode");
+}
+
+RequestPlan PolicyEngine::plan_request(const fed::NonTrainingRequest& req,
+                                       const fed::RoundDirectory& dir) {
+  if (!is_tailored(config_.mode)) return {};
+  return plan_for_class(effective_class(req), req, dir);
+}
+
+RequestPlan PolicyEngine::plan_for_class(fed::PolicyClass cls,
+                                         const fed::NonTrainingRequest& req,
+                                         const fed::RoundDirectory& dir) const {
+  RequestPlan plan;
+  switch (cls) {
+    case fed::PolicyClass::kP1: plan_p1(req, dir, plan); break;
+    case fed::PolicyClass::kP2: plan_p2(req, dir, plan); break;
+    case fed::PolicyClass::kP3: plan_p3(req, dir, plan); break;
+    case fed::PolicyClass::kP4: plan_p4(req, dir, plan); break;
+  }
+  return plan;
+}
+
+IngestPlan PolicyEngine::plan_ingest(const fed::RoundRecord& record,
+                                     const fed::RoundDirectory& dir) {
+  IngestPlan plan;
+  if (!is_tailored(config_.mode)) return plan;
+
+  const auto r = record.round;
+  // Which policy classes are "active" decides what a new round write-
+  // allocates. Full FLStore serves all classes; Static serves only one;
+  // Random re-rolls per round.
+  fed::PolicyClass only = fed::PolicyClass::kP1;
+  bool all_classes = config_.mode == PolicyMode::kTailored;
+  if (config_.mode == PolicyMode::kTailoredStatic) {
+    only = config_.static_class;
+  } else if (config_.mode == PolicyMode::kTailoredRandom) {
+    only = static_cast<fed::PolicyClass>(rng_.uniform_int(0, 3));
+  }
+  const auto active = [&](fed::PolicyClass c) {
+    return all_classes || c == only;
+  };
+
+  if (active(fed::PolicyClass::kP2)) {
+    // "We keep the latest round cached" — newest round's updates in, the
+    // round before the previous one out.
+    for (const auto& u : record.updates) {
+      plan.cache.push_back(MetadataKey::update(u.client, r));
+    }
+    if (r >= 2) {
+      for (const auto c : dir.participants(r - 2)) {
+        plan.evict.push_back(MetadataKey::update(c, r - 2));
+      }
+    }
+  }
+  if (active(fed::PolicyClass::kP1)) {
+    plan.cache.push_back(MetadataKey::aggregate(r));
+    if (r >= 2) plan.evict.push_back(MetadataKey::aggregate(r - 2));
+  }
+  if (active(fed::PolicyClass::kP4)) {
+    for (const auto& m : record.metrics) {
+      plan.cache.push_back(MetadataKey::metrics(m.client, r));
+    }
+    plan.cache.push_back(MetadataKey::metadata(r));
+    const auto stale = r - config_.metadata_window;
+    if (stale >= 0) {
+      for (const auto c : dir.participants(stale)) {
+        plan.evict.push_back(MetadataKey::metrics(c, stale));
+      }
+      plan.evict.push_back(MetadataKey::metadata(stale));
+    }
+  }
+  // P3 tracks are demand/prefetch-driven; ingest adds nothing for them
+  // (the newest round is already covered by the P2 write-allocate).
+  return plan;
+}
+
+}  // namespace flstore::core

@@ -1,0 +1,101 @@
+// Caching policies — the paper's §4.4.
+//
+// Tailored policies are *plans*: given a request (or a freshly ingested
+// round) they name keys to cache, prefetch and evict, exploiting FL's
+// iterative access pattern. Traditional policies (LRU/LFU/FIFO) never plan;
+// they demand-fill and evict by recency/frequency/insertion under capacity
+// pressure. FLStore variants for the ablations (Random, Static, limited)
+// are configurations of the same machinery.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "fed/directory.hpp"
+#include "fed/metadata.hpp"
+#include "fed/request.hpp"
+
+namespace flstore::core {
+
+enum class PolicyMode : std::uint8_t {
+  kTailored,        ///< Table-1 selector: P1-P4 by workload type
+  kTailoredRandom,  ///< ablation: random policy class per request
+  kTailoredStatic,  ///< ablation: one fixed policy class for everything
+  kLru,
+  kLfu,
+  kFifo,
+};
+
+[[nodiscard]] constexpr const char* to_string(PolicyMode m) noexcept {
+  switch (m) {
+    case PolicyMode::kTailored: return "FLStore";
+    case PolicyMode::kTailoredRandom: return "FLStore-Random";
+    case PolicyMode::kTailoredStatic: return "FLStore-Static";
+    case PolicyMode::kLru: return "FLStore-LRU";
+    case PolicyMode::kLfu: return "FLStore-LFU";
+    case PolicyMode::kFifo: return "FLStore-FIFO";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_tailored(PolicyMode m) noexcept {
+  return m == PolicyMode::kTailored || m == PolicyMode::kTailoredRandom ||
+         m == PolicyMode::kTailoredStatic;
+}
+
+struct PolicyConfig {
+  PolicyMode mode = PolicyMode::kTailored;
+  /// P4 window: metadata kept for the most recent R rounds (default 10).
+  RoundId metadata_window = 10;
+  /// Policy class used by kTailoredStatic.
+  fed::PolicyClass static_class = fed::PolicyClass::kP1;
+  std::uint64_t random_seed = 7;  ///< kTailoredRandom's stream
+};
+
+/// What to do around one request.
+struct RequestPlan {
+  std::vector<MetadataKey> prefetch;  ///< load asynchronously after serving
+  std::vector<MetadataKey> evict;     ///< drop from cache
+};
+
+/// What to do when a training round lands (step 1 of Fig 6).
+struct IngestPlan {
+  std::vector<MetadataKey> cache;  ///< write-allocate into serverless memory
+  std::vector<MetadataKey> evict;  ///< windows that slid past
+};
+
+class PolicyEngine {
+ public:
+  explicit PolicyEngine(PolicyConfig config)
+      : config_(config), rng_(config.random_seed) {}
+
+  [[nodiscard]] const PolicyConfig& config() const noexcept { return config_; }
+
+  /// Policy class applied to `req` under the configured mode (tailored modes
+  /// only; traditional modes have no class).
+  [[nodiscard]] fed::PolicyClass effective_class(
+      const fed::NonTrainingRequest& req);
+
+  /// Plan around a request. Traditional modes return an empty plan.
+  [[nodiscard]] RequestPlan plan_request(const fed::NonTrainingRequest& req,
+                                         const fed::RoundDirectory& dir);
+
+  /// Plan for an already-resolved policy class (lets the caller draw the
+  /// class once and reuse it for pinning decisions).
+  [[nodiscard]] RequestPlan plan_for_class(fed::PolicyClass cls,
+                                           const fed::NonTrainingRequest& req,
+                                           const fed::RoundDirectory& dir) const;
+
+  /// Plan for a freshly ingested round. Traditional modes return an empty
+  /// plan (they cache nothing until a request misses).
+  [[nodiscard]] IngestPlan plan_ingest(const fed::RoundRecord& record,
+                                       const fed::RoundDirectory& dir);
+
+ private:
+  PolicyConfig config_;
+  Rng rng_;
+};
+
+}  // namespace flstore::core

@@ -1,0 +1,64 @@
+#include "core/request_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flstore::core {
+
+void RequestTracker::begin(RequestId id, double now) {
+  const auto [it, inserted] = entries_.try_emplace(id);
+  FLSTORE_CHECK(inserted);
+  it->second.started_at = now;
+  ++in_flight_;
+}
+
+void RequestTracker::add_function(RequestId id, FunctionId fn) {
+  const auto it = entries_.find(id);
+  FLSTORE_CHECK(it != entries_.end());
+  FLSTORE_CHECK(!it->second.done);
+  auto& fns = it->second.functions;
+  if (std::find(fns.begin(), fns.end(), fn) == fns.end()) fns.push_back(fn);
+}
+
+void RequestTracker::finish(RequestId id, double now) {
+  const auto it = entries_.find(id);
+  FLSTORE_CHECK(it != entries_.end());
+  FLSTORE_CHECK(!it->second.done);
+  it->second.done = true;
+  it->second.finished_at = now;
+  FLSTORE_CHECK(in_flight_ > 0);
+  --in_flight_;
+}
+
+const RequestTracker::Entry& RequestTracker::get(RequestId id) const {
+  const auto it = entries_.find(id);
+  FLSTORE_CHECK(it != entries_.end());
+  return it->second;
+}
+
+bool RequestTracker::is_done(RequestId id) const { return get(id).done; }
+
+std::size_t RequestTracker::garbage_collect(double now, double horizon_s) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.done && it->second.finished_at + horizon_s <= now) {
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::size_t RequestTracker::bookkeeping_bytes() const noexcept {
+  std::size_t fn_bytes = 0;
+  for (const auto& [_, e] : entries_) {
+    fn_bytes += e.functions.capacity() * sizeof(FunctionId);
+  }
+  return entries_.size() * (sizeof(RequestId) + sizeof(Entry) + 2 * sizeof(void*)) +
+         entries_.bucket_count() * sizeof(void*) + fn_bytes;
+}
+
+}  // namespace flstore::core

@@ -1,0 +1,20 @@
+// FedAvg aggregation (McMahan et al., 2017): sample-count-weighted mean of
+// client updates. The aggregated model per round is the P1 policy's object.
+#pragma once
+
+#include <vector>
+
+#include "fed/metadata.hpp"
+
+namespace flstore::fed {
+
+/// Weighted FedAvg over the round's updates. All updates must share round
+/// and dimension; weights are num_samples (must be positive in total).
+[[nodiscard]] Tensor fedavg(const std::vector<ClientUpdate>& updates);
+
+/// FedAvg excluding a set of client ids (used by incentive workloads to
+/// compute leave-one-out contributions). Throws if everyone is excluded.
+[[nodiscard]] Tensor fedavg_excluding(const std::vector<ClientUpdate>& updates,
+                                      const std::vector<ClientId>& excluded);
+
+}  // namespace flstore::fed

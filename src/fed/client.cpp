@@ -1,0 +1,93 @@
+#include "fed/client.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace flstore::fed {
+
+SimClient::SimClient(ClientId id, std::size_t dim, ClientBehavior behavior,
+                     std::uint64_t seed) {
+  FLSTORE_CHECK(id >= 0);
+  FLSTORE_CHECK(dim > 0);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ULL) ^
+          0xC0FFEE);
+  profile_.id = id;
+  profile_.behavior = behavior;
+  profile_.signature = ops::random_normal(dim, rng);
+  const double norm = ops::l2_norm(profile_.signature);
+  FLSTORE_CHECK(norm > 0.0);
+  ops::scale(profile_.signature, 1.0 / norm);
+  // Heterogeneous devices: capability varies ~5x, uplink ~5x, data ~4x
+  // (phone-class accelerators, 4G/5G/WiFi uplinks).
+  profile_.compute_gflops = rng.uniform(20.0, 100.0);
+  profile_.network_mbps = rng.uniform(20.0, 100.0);
+  profile_.num_samples = static_cast<std::int32_t>(rng.uniform_int(200, 800));
+  if (behavior == ClientBehavior::kStraggler) {
+    profile_.compute_gflops *= 0.25;
+    profile_.network_mbps *= 0.3;
+  }
+}
+
+SimClient::TrainOutput SimClient::train_round(RoundId round,
+                                              const Tensor& global_direction,
+                                              double progress,
+                                              units::Bytes model_bytes,
+                                              double model_gflops,
+                                              Rng& rng) const {
+  FLSTORE_CHECK(global_direction.dim() == profile_.signature.dim());
+  FLSTORE_CHECK(progress >= 0.0 && progress <= 1.0);
+
+  TrainOutput out;
+  out.update.client = profile_.id;
+  out.update.round = round;
+  out.update.logical_bytes = model_bytes;
+  out.update.num_samples = profile_.num_samples;
+
+  // delta = global + w*signature + noise; malicious clients send a scaled
+  // *opposing* direction plus heavy noise (classic poisoning signature that
+  // cosine-based filters catch). Noise vectors are scaled to a fixed norm
+  // *relative to the signal* so separability does not depend on dimension.
+  const double signal_norm = ops::l2_norm(global_direction);
+  auto scaled_noise = [&rng, signal_norm](std::size_t dim, double rel) {
+    auto n = ops::random_normal(dim, rng);
+    const double norm = ops::l2_norm(n);
+    if (norm > 0.0) ops::scale(n, rel * signal_norm / norm);
+    return n;
+  };
+
+  Tensor delta = global_direction;
+  ops::axpy(kSignatureWeight * signal_norm, profile_.signature, delta);
+  ops::axpy(1.0, scaled_noise(delta.dim(), kNoiseStddev), delta);
+  if (profile_.behavior == ClientBehavior::kMalicious) {
+    Tensor attack = global_direction;
+    ops::scale(attack, -kMaliciousScale);
+    ops::axpy(1.0, scaled_noise(delta.dim(), 0.5 * kMaliciousScale), attack);
+    delta = std::move(attack);
+  }
+  out.update.delta = std::move(delta);
+
+  // Scalar telemetry.
+  auto& m = out.metrics;
+  m.client = profile_.id;
+  m.round = round;
+  m.num_samples = profile_.num_samples;
+  m.compute_gflops = profile_.compute_gflops;
+  m.network_mbps = profile_.network_mbps;
+  // Loss decays with progress; malicious clients report plausible losses
+  // (they lie), stragglers are honest but slow.
+  const double base_loss = 2.3 * std::exp(-2.2 * progress);
+  m.local_loss = base_loss * rng.uniform(0.85, 1.15);
+  m.accuracy = 1.0 - std::exp(-3.0 * progress) * rng.uniform(0.8, 1.2) * 0.9;
+  m.accuracy = std::min(std::max(m.accuracy, 0.0), 1.0);
+  const double epochs_work =
+      model_gflops * static_cast<double>(profile_.num_samples) * 2.0;
+  m.train_time_s = epochs_work / profile_.compute_gflops;
+  m.upload_time_s = static_cast<double>(model_bytes) * 8.0 /
+                    (profile_.network_mbps * 1e6);
+  m.energy_j = epochs_work * 0.35;
+  return out;
+}
+
+}  // namespace flstore::fed

@@ -1,0 +1,75 @@
+// Simulated cross-device FL client.
+//
+// Each client has a fixed device profile (compute, network, data size) and a
+// fixed *signature direction* in update space; its per-round update is
+//     delta = global_direction(round) + signature_weight * signature + noise.
+// Honest clients therefore correlate with the round's global direction (and
+// with each other), which is the structure the non-training workloads rely
+// on: malicious clients are planted as cosine outliers, client signatures
+// make per-client tracking meaningful, and device profiles drive scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "fed/metadata.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flstore::fed {
+
+enum class ClientBehavior : std::uint8_t {
+  kHonest,
+  kMalicious,   ///< flips/inflates its update (data poisoning / sabotage)
+  kStraggler,   ///< honest but slow device (scheduling workloads target it)
+};
+
+struct ClientProfile {
+  ClientId id = kNoClient;
+  ClientBehavior behavior = ClientBehavior::kHonest;
+  Tensor signature;            ///< unit-norm per-client direction
+  double compute_gflops = 10;  ///< device capability
+  double network_mbps = 20;    ///< device uplink
+  std::int32_t num_samples = 500;
+};
+
+class SimClient {
+ public:
+  /// Builds a deterministic profile from (seed, id, dim).
+  SimClient(ClientId id, std::size_t dim, ClientBehavior behavior,
+            std::uint64_t seed);
+
+  [[nodiscard]] const ClientProfile& profile() const noexcept {
+    return profile_;
+  }
+  [[nodiscard]] ClientId id() const noexcept { return profile_.id; }
+  [[nodiscard]] bool malicious() const noexcept {
+    return profile_.behavior == ClientBehavior::kMalicious;
+  }
+
+  struct TrainOutput {
+    ClientUpdate update;
+    ClientMetrics metrics;
+  };
+
+  /// One local training round. `global_direction` is the round's true
+  /// descent direction; `progress` in [0,1] is training progress (losses
+  /// decay with it); `model_bytes`/`model_gflops` size the device-side work.
+  [[nodiscard]] TrainOutput train_round(RoundId round,
+                                        const Tensor& global_direction,
+                                        double progress,
+                                        units::Bytes model_bytes,
+                                        double model_gflops, Rng& rng) const;
+
+ private:
+  ClientProfile profile_;
+};
+
+/// Magnitude layout of update components relative to the round's global
+/// direction norm (exposed for tests that verify the planted structure is
+/// detectable).
+inline constexpr double kSignatureWeight = 0.55;  ///< per-client direction
+inline constexpr double kNoiseStddev = 0.30;      ///< SGD noise (total norm)
+inline constexpr double kMaliciousScale = 2.5;    ///< poisoning magnitude
+
+}  // namespace flstore::fed

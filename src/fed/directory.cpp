@@ -1,0 +1,34 @@
+#include "fed/directory.hpp"
+
+#include <algorithm>
+
+namespace flstore::fed {
+
+bool RoundDirectory::participated(ClientId c, RoundId r) const {
+  const auto parts = participants(r);
+  return std::find(parts.begin(), parts.end(), c) != parts.end();
+}
+
+std::vector<RoundId> RoundDirectory::participation_window(ClientId c,
+                                                          RoundId upto,
+                                                          int k) const {
+  std::vector<RoundId> out;
+  for (RoundId r = std::min(upto, latest_round()); r >= 0 && k > 0; --r) {
+    if (participated(c, r)) {
+      out.push_back(r);
+      --k;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::optional<RoundId> RoundDirectory::next_participation(ClientId c,
+                                                          RoundId r) const {
+  for (RoundId next = r + 1; next <= latest_round(); ++next) {
+    if (participated(c, next)) return next;
+  }
+  return std::nullopt;
+}
+
+}  // namespace flstore::fed

@@ -1,0 +1,37 @@
+// Round directory: who trained when.
+//
+// Caching policies need to *enumerate* data they have not seen yet ("all
+// updates of round r+1", "client c's next participation round") in order to
+// prefetch. The directory abstracts that lookup; FLJob implements it from
+// its deterministic sampling, and tests implement tiny fakes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace flstore::fed {
+
+class RoundDirectory {
+ public:
+  virtual ~RoundDirectory() = default;
+
+  /// Highest round that has finished training (data exists up to here).
+  [[nodiscard]] virtual RoundId latest_round() const = 0;
+
+  /// Participants of a round (empty if out of range).
+  [[nodiscard]] virtual std::vector<ClientId> participants(RoundId r) const = 0;
+
+  [[nodiscard]] virtual bool participated(ClientId c, RoundId r) const;
+
+  /// The last `k` rounds <= `upto` in which `c` participated, ascending.
+  [[nodiscard]] virtual std::vector<RoundId> participation_window(
+      ClientId c, RoundId upto, int k) const;
+
+  /// First round strictly after `r` (and <= latest) where `c` participates.
+  [[nodiscard]] virtual std::optional<RoundId> next_participation(
+      ClientId c, RoundId r) const;
+};
+
+}  // namespace flstore::fed

@@ -1,0 +1,68 @@
+// Deterministic FL training job simulation (the §5.1 setup: N clients per
+// round drawn from a pool, up to thousands of rounds, one model).
+//
+// Rounds are generated on demand and deterministically: round r's content is
+// a pure function of (config.seed, r), so traces can replay any round without
+// storing the whole history. Participant sets are memoized (cheap) while
+// full RoundRecords (tensors) are produced on request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fed/client.hpp"
+#include "fed/directory.hpp"
+#include "fed/metadata.hpp"
+#include "models/model_zoo.hpp"
+
+namespace flstore::fed {
+
+struct FLJobConfig {
+  std::string model = "efficientnet_v2_s";
+  std::int32_t pool_size = 250;       ///< client population
+  std::int32_t clients_per_round = 10;
+  RoundId rounds = 1000;
+  double malicious_fraction = 0.10;   ///< planted poisoners in the pool
+  double straggler_fraction = 0.15;
+  std::uint64_t seed = 1234;
+};
+
+class FLJob final : public RoundDirectory {
+ public:
+  explicit FLJob(FLJobConfig config);
+
+  [[nodiscard]] const FLJobConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const ModelSpec& model() const noexcept { return *model_; }
+  [[nodiscard]] const std::vector<SimClient>& clients() const noexcept {
+    return clients_;
+  }
+  [[nodiscard]] const SimClient& client(ClientId id) const;
+
+  /// Generate round r's full record (deterministic, includes FedAvg output).
+  [[nodiscard]] RoundRecord make_round(RoundId r) const;
+
+  /// Ids of planted malicious clients (ground truth for workload tests).
+  [[nodiscard]] std::vector<ClientId> malicious_clients() const;
+
+  // RoundDirectory --------------------------------------------------------
+  [[nodiscard]] RoundId latest_round() const override {
+    return config_.rounds - 1;
+  }
+  [[nodiscard]] std::vector<ClientId> participants(RoundId r) const override;
+
+  /// The round's true descent direction (exposed for tests).
+  [[nodiscard]] Tensor global_direction(RoundId r) const;
+
+  /// Hyperparameter schedule: step-decayed learning rate.
+  [[nodiscard]] Hyperparameters hyperparameters(RoundId r) const;
+
+ private:
+  FLJobConfig config_;
+  const ModelSpec* model_;
+  std::vector<SimClient> clients_;
+  mutable std::vector<std::vector<ClientId>> participants_cache_;
+};
+
+}  // namespace flstore::fed

@@ -1,0 +1,74 @@
+// FL metadata record types — the data the non-training workloads consume.
+//
+// A training round produces: one ClientUpdate per participant (the big
+// objects, hundreds of MB logically), one aggregated model, one round-level
+// hyperparameter record and one tiny ClientMetrics record per participant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flstore::fed {
+
+struct Hyperparameters {
+  double learning_rate = 0.01;
+  int batch_size = 32;
+  double momentum = 0.9;
+  int local_epochs = 2;
+
+  friend bool operator==(const Hyperparameters&,
+                         const Hyperparameters&) = default;
+};
+
+/// Per-client, per-round scalar telemetry (policy P4's working set).
+struct ClientMetrics {
+  ClientId client = kNoClient;
+  RoundId round = kNoRound;
+  double local_loss = 0.0;
+  double accuracy = 0.0;
+  double train_time_s = 0.0;       ///< local training duration
+  double upload_time_s = 0.0;      ///< update transmission duration
+  double compute_gflops = 0.0;     ///< device capability
+  double network_mbps = 0.0;       ///< device uplink
+  double energy_j = 0.0;
+  std::int32_t num_samples = 0;    ///< local dataset size (FedAvg weight)
+
+  friend bool operator==(const ClientMetrics&, const ClientMetrics&) = default;
+};
+
+/// One client's model update for one round. `delta` is the materialized
+/// low-dimensional vector; `logical_bytes` is the true checkpoint size used
+/// by the latency/cost model.
+struct ClientUpdate {
+  ClientId client = kNoClient;
+  RoundId round = kNoRound;
+  Tensor delta;
+  units::Bytes logical_bytes = 0;
+  std::int32_t num_samples = 0;
+
+  friend bool operator==(const ClientUpdate&, const ClientUpdate&) = default;
+};
+
+/// Everything one training round produced.
+struct RoundRecord {
+  RoundId round = kNoRound;
+  Hyperparameters hparams;
+  std::vector<ClientUpdate> updates;    ///< one per participant
+  std::vector<ClientMetrics> metrics;   ///< one per participant
+  Tensor aggregate;                     ///< FedAvg output
+  units::Bytes model_bytes = 0;         ///< logical size of a full model
+  double global_loss = 0.0;
+
+  [[nodiscard]] std::vector<ClientId> participants() const {
+    std::vector<ClientId> out;
+    out.reserve(updates.size());
+    for (const auto& u : updates) out.push_back(u.client);
+    return out;
+  }
+};
+
+}  // namespace flstore::fed

@@ -1,0 +1,120 @@
+#include "fed/trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flstore::fed {
+
+std::vector<NonTrainingRequest> generate_trace(const TraceConfig& config,
+                                               const RoundDirectory& dir) {
+  FLSTORE_CHECK(config.duration_s > 0.0);
+  FLSTORE_CHECK(config.total_requests > 0);
+  FLSTORE_CHECK(config.round_interval_s > 0.0);
+
+  const auto workloads =
+      config.workloads.empty() ? paper_workloads() : config.workloads;
+  Rng rng(config.seed);
+
+  // Tracked clients for the P3 family, with a per-client cursor through
+  // their participation rounds.
+  std::vector<ClientId> tracked;
+  {
+    const auto first_round = dir.participants(0);
+    FLSTORE_CHECK(!first_round.empty());
+    // Track clients that exist in the pool; use round-0 participants plus
+    // random draws as a deterministic, always-valid choice.
+    for (std::size_t i = 0; i < config.tracked_clients; ++i) {
+      tracked.push_back(first_round[i % first_round.size()]);
+    }
+  }
+  std::vector<RoundId> cursor(tracked.size(), -1);
+
+  // Poisson arrivals with the rate that yields ~total_requests in duration.
+  const double rate =
+      static_cast<double>(config.total_requests) / config.duration_s;
+
+  std::vector<NonTrainingRequest> out;
+  out.reserve(config.total_requests);
+  double t = rng.exponential(rate);
+  RequestId next_id = 1;
+  std::size_t p3_rr = 0;
+  while (out.size() < config.total_requests) {
+    if (t >= config.duration_s) break;
+    NonTrainingRequest req;
+    req.id = next_id++;
+    req.arrival_s = t;
+    req.type = workloads[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(workloads.size()) - 1))];
+
+    const auto newest = std::min<RoundId>(
+        dir.latest_round(),
+        static_cast<RoundId>(t / config.round_interval_s));
+
+    if (policy_class_for(req.type) == PolicyClass::kP3) {
+      const auto idx = p3_rr % tracked.size();
+      ++p3_rr;
+      req.client = tracked[idx];
+      // Advance this client's cursor to its next participation that has
+      // already happened; wrap to the first when exhausted.
+      auto next = dir.next_participation(req.client, cursor[idx]);
+      if (next.has_value() && *next <= newest) {
+        cursor[idx] = *next;
+      } else if (cursor[idx] < 0) {
+        // No participation yet; target round 0 anyway (a miss-path case).
+        cursor[idx] = 0;
+      }
+      req.round = cursor[idx];
+    } else {
+      // P1/P2/P4 workloads run against the newest completed round — the
+      // iterative per-round pattern the tailored policies exploit.
+      req.round = newest;
+    }
+    out.push_back(req);
+    t += rng.exponential(rate);
+  }
+  return out;
+}
+
+std::vector<NonTrainingRequest> table2_p2_trace(WorkloadType type,
+                                                RoundId n_rounds) {
+  FLSTORE_CHECK(policy_class_for(type) == PolicyClass::kP2);
+  std::vector<NonTrainingRequest> out;
+  out.reserve(static_cast<std::size_t>(n_rounds));
+  for (RoundId r = 0; r < n_rounds; ++r) {
+    out.push_back(NonTrainingRequest{
+        static_cast<RequestId>(r + 1), type, r, kNoClient,
+        static_cast<double>(r)});
+  }
+  return out;
+}
+
+std::vector<NonTrainingRequest> table2_p3_trace(ClientId client,
+                                                std::size_t n,
+                                                const RoundDirectory& dir) {
+  std::vector<NonTrainingRequest> out;
+  out.reserve(n);
+  RoundId r = -1;
+  RequestId id = 1;
+  while (out.size() < n) {
+    const auto next = dir.next_participation(client, r);
+    if (!next.has_value()) break;
+    r = *next;
+    out.push_back(NonTrainingRequest{id++, WorkloadType::kProvenance, r,
+                                     client, static_cast<double>(out.size())});
+  }
+  return out;
+}
+
+std::vector<NonTrainingRequest> table2_p4_trace(RoundId n_rounds) {
+  std::vector<NonTrainingRequest> out;
+  out.reserve(static_cast<std::size_t>(n_rounds));
+  for (RoundId r = 0; r < n_rounds; ++r) {
+    out.push_back(NonTrainingRequest{
+        static_cast<RequestId>(r + 1), WorkloadType::kSchedulingPerf, r,
+        kNoClient, static_cast<double>(r)});
+  }
+  return out;
+}
+
+}  // namespace flstore::fed

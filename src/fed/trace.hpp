@@ -1,0 +1,50 @@
+// Non-training request trace generation.
+//
+// Two flavours:
+//  * the mixed 50-hour trace behind Figs 7-9/15-17 (Poisson arrivals over a
+//    workload mix while training advances one round per interval), and
+//  * the single-family Table-2 traces (one request per round / per
+//    participation, which is where the 20000/64/20000 access counts and the
+//    0%-traditional hit rates come from).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fed/directory.hpp"
+#include "fed/request.hpp"
+
+namespace flstore::fed {
+
+struct TraceConfig {
+  double duration_s = 50.0 * 3600.0;   ///< §5.2: 50 hours
+  std::size_t total_requests = 3000;   ///< §5.2: 3000 requests
+  double round_interval_s = 180.0;     ///< training pace: one round / 3 min
+  std::vector<WorkloadType> workloads; ///< defaults to paper_workloads()
+  std::size_t tracked_clients = 5;     ///< P3 targets rotate over these
+  std::uint64_t seed = 99;
+};
+
+/// Mixed trace: uniformly mixed workloads, Poisson arrivals, rounds advance
+/// with virtual training time. P2-family requests target the newest
+/// available round (minus a per-workload lag); P3-family requests walk a
+/// tracked client's participation sequence. Sorted by arrival time.
+[[nodiscard]] std::vector<NonTrainingRequest> generate_trace(
+    const TraceConfig& config, const RoundDirectory& dir);
+
+/// Table-2 P2 trace: one per-round request (malicious filtering) for rounds
+/// [0, n_rounds).
+[[nodiscard]] std::vector<NonTrainingRequest> table2_p2_trace(
+    WorkloadType type, RoundId n_rounds);
+
+/// Table-2 P3 trace: provenance requests tracking `client` across its first
+/// `n` participation rounds.
+[[nodiscard]] std::vector<NonTrainingRequest> table2_p3_trace(
+    ClientId client, std::size_t n, const RoundDirectory& dir);
+
+/// Table-2 P4 trace: per-round resource-tracking scheduling requests.
+[[nodiscard]] std::vector<NonTrainingRequest> table2_p4_trace(
+    RoundId n_rounds);
+
+}  // namespace flstore::fed

@@ -1,0 +1,131 @@
+#include "models/model_zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+namespace {
+struct RawSpec {
+  const char* name;
+  double params_m;   // millions of parameters
+  double fwd_gflops; // forward pass GFLOPs at eval resolution
+};
+
+// Parameter counts follow the torchvision model cards; forward GFLOPs are
+// the commonly reported single-image costs (224x224 except Inception 299).
+constexpr RawSpec kZoo[] = {
+    {"resnet50", 25.557, 4.09},
+    {"efficientnet_b0", 5.289, 0.39},
+    {"mobilenet_v2", 3.505, 0.30},
+    {"efficientnet_v2_s", 21.458, 8.37},
+    {"swin_v2_t", 28.351, 5.94},
+    {"resnet18", 11.690, 1.81},
+    {"mobilenet_v3_small", 2.542, 0.06},
+    {"shufflenet_v2_x1_0", 2.279, 0.14},
+    {"resnet34", 21.798, 3.66},
+    {"densenet121", 7.979, 2.83},
+    {"alexnet", 61.101, 0.71},
+    {"vgg13", 133.048, 11.31},
+    {"vgg16", 138.358, 15.47},
+    {"resnet101", 44.549, 7.80},
+    {"resnet152", 60.193, 11.51},
+    {"resnext50_32x4d", 25.029, 4.23},
+    {"resnext101_32x8d", 88.791, 16.41},
+    {"wide_resnet50_2", 68.883, 11.40},
+    {"wide_resnet101_2", 126.887, 22.75},
+    {"densenet161", 28.681, 7.73},
+    {"densenet169", 14.149, 3.36},
+    {"densenet201", 20.014, 4.29},
+    {"inception_v3", 27.161, 5.71},
+};
+}  // namespace
+
+std::size_t ModelSpec::materialized_dim() const noexcept {
+  // 256..1024 floats: rich enough for cosine/clustering structure, cheap
+  // enough that a 2000-round trace materializes instantly.
+  const double logp = std::log2(static_cast<double>(parameters) + 1.0);
+  const auto dim = static_cast<std::size_t>(32.0 * logp);
+  return std::clamp<std::size_t>(dim, 256, 1024);
+}
+
+ModelZoo::ModelZoo() {
+  specs_.reserve(std::size(kZoo));
+  for (const auto& raw : kZoo) {
+    ModelSpec s;
+    s.name = raw.name;
+    s.parameters = static_cast<std::uint64_t>(raw.params_m * 1e6);
+    s.weight_bytes = static_cast<units::Bytes>(s.parameters * sizeof(float));
+    s.object_bytes = s.weight_bytes;
+    s.gflops_forward = raw.fwd_gflops;
+    specs_.push_back(std::move(s));
+  }
+}
+
+const ModelZoo& ModelZoo::instance() {
+  static const ModelZoo zoo;
+  return zoo;
+}
+
+const ModelSpec& ModelZoo::get(std::string_view name) const {
+  const auto it = std::find_if(
+      specs_.begin(), specs_.end(),
+      [name](const ModelSpec& s) { return s.name == name; });
+  if (it == specs_.end()) {
+    throw InvalidArgument("unknown model: " + std::string(name));
+  }
+  return *it;
+}
+
+bool ModelZoo::contains(std::string_view name) const noexcept {
+  return std::any_of(specs_.begin(), specs_.end(),
+                     [name](const ModelSpec& s) { return s.name == name; });
+}
+
+double ModelZoo::average_object_mib() const {
+  double sum = 0.0;
+  for (const auto& s : specs_) sum += s.object_mib();
+  return sum / static_cast<double>(specs_.size());
+}
+
+std::vector<std::string> ModelZoo::evaluation_models() {
+  // §5.1: EfficientNetV2 Small, Resnet18, MobileNet V3 Small, SwinV2 tiny.
+  return {"resnet18", "mobilenet_v3_small", "efficientnet_v2_s", "swin_v2_t"};
+}
+
+std::span<const ModelSpec> ModelZoo::foundation_models() {
+  static const std::vector<ModelSpec> models = [] {
+    // (name, params in millions, forward GFLOPs per generated token-ish)
+    constexpr RawSpec kFoundation[] = {
+        {"tinyllama_1_1b", 1100.0, 2.2},   // §D cites TinyLlama explicitly
+        {"vit_l_16", 304.3, 61.6},
+        {"llama2_7b", 6738.0, 13.5},
+    };
+    std::vector<ModelSpec> out;
+    for (const auto& raw : kFoundation) {
+      ModelSpec s;
+      s.name = raw.name;
+      s.parameters = static_cast<std::uint64_t>(raw.params_m * 1e6);
+      s.weight_bytes = static_cast<units::Bytes>(s.parameters * sizeof(float));
+      s.object_bytes = s.weight_bytes;
+      s.gflops_forward = raw.fwd_gflops;
+      out.push_back(std::move(s));
+    }
+    return out;
+  }();
+  return models;
+}
+
+FunctionSizing function_sizing_for(const ModelSpec& spec) {
+  // Threshold between the two §5.1 classes: Swin/EfficientNetV2 get 2c/4GB,
+  // ResNet18/MobileNet get 1c/2GB. Anything above ~80 MB of weights needs
+  // the larger allocation to hold a full round of updates comfortably.
+  if (spec.weight_bytes >= 80 * units::MB) {
+    return FunctionSizing{2, 4 * units::GB};
+  }
+  return FunctionSizing{1, 2 * units::GB};
+}
+
+}  // namespace flstore

@@ -1,0 +1,71 @@
+// Model zoo: the 23 cross-device FL models the paper analyzes (Appendix D,
+// Figure 19) plus lookup for the four evaluation models of §5.1.
+//
+// Weight sizes are fp32 checkpoint sizes (parameters × 4 bytes). Reported in
+// MiB, the unit checkpoint files are listed in — the zoo average then lands
+// at 160.4 vs the paper's 160.88 "MB".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace flstore {
+
+struct ModelSpec {
+  std::string name;
+  std::uint64_t parameters = 0;     ///< number of fp32 parameters
+  units::Bytes weight_bytes = 0;    ///< raw fp32 weights
+  units::Bytes object_bytes = 0;    ///< stored object size (== weight bytes)
+  double gflops_forward = 0.0;      ///< fwd pass cost at eval resolution
+
+  /// Materialized update dimension used for actual math in this repro;
+  /// proportional to log(parameters) so bigger models give richer vectors.
+  [[nodiscard]] std::size_t materialized_dim() const noexcept;
+
+  [[nodiscard]] double object_mib() const noexcept {
+    return static_cast<double>(object_bytes) / (1024.0 * 1024.0);
+  }
+};
+
+class ModelZoo {
+ public:
+  /// The process-wide immutable zoo (constructed on first use).
+  [[nodiscard]] static const ModelZoo& instance();
+
+  [[nodiscard]] std::span<const ModelSpec> all() const noexcept {
+    return specs_;
+  }
+  [[nodiscard]] const ModelSpec& get(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const noexcept;
+
+  /// Mean object size across the zoo in MiB (paper Fig 19: 160.88 MB).
+  [[nodiscard]] double average_object_mib() const;
+
+  /// The four §5.1 evaluation models in paper order.
+  [[nodiscard]] static std::vector<std::string> evaluation_models();
+
+  /// Foundation models (Appendix D): larger than the cross-device zoo,
+  /// some exceeding a single function's memory — served via sharded
+  /// placement. Kept out of `all()` so Fig 19's average stays the zoo's.
+  [[nodiscard]] static std::span<const ModelSpec> foundation_models();
+
+ private:
+  ModelZoo();
+  std::vector<ModelSpec> specs_;
+};
+
+/// §5.1: function sizing per model — "larger function allocations (2 CPU
+/// cores and 4 GB of memory) for SwinTransformer and EfficientNet models and
+/// 1 CPU core and 2 GB" for the smaller ones.
+struct FunctionSizing {
+  int vcpus = 1;
+  units::Bytes memory = 2 * units::GB;
+};
+[[nodiscard]] FunctionSizing function_sizing_for(const ModelSpec& spec);
+
+}  // namespace flstore

@@ -1,0 +1,23 @@
+#include "serverless/fault_injector.hpp"
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+std::vector<FaultEvent> generate_fault_schedule(
+    const FaultInjectorConfig& config, double horizon_s, Rng& rng) {
+  FLSTORE_CHECK(config.mean_interarrival_s > 0.0);
+  FLSTORE_CHECK(config.population >= 1);
+  FLSTORE_CHECK(horizon_s >= 0.0);
+
+  const ZipfDistribution zipf(config.population, config.zipf_exponent);
+  std::vector<FaultEvent> events;
+  double t = rng.exponential(1.0 / config.mean_interarrival_s);
+  while (t < horizon_s) {
+    events.push_back(FaultEvent{t, zipf(rng)});
+    t += rng.exponential(1.0 / config.mean_interarrival_s);
+  }
+  return events;
+}
+
+}  // namespace flstore

@@ -1,0 +1,32 @@
+// Zipfian fault (reclamation) schedule generator.
+//
+// §A.2: "Faults (function reclamations) were generated based on the Zipfian
+// distribution, observed in measurement studies on AWS Lambda" (InfiniCache,
+// FAST'20). Reclamations arrive as a Poisson process; each event picks a
+// victim *rank* Zipf-distributed — low ranks are reclaimed over and over,
+// matching the skew of real providers.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace flstore {
+
+struct FaultEvent {
+  double time_s = 0.0;
+  std::int32_t victim_rank = 0;  ///< rank into the population, 0 = hottest
+};
+
+struct FaultInjectorConfig {
+  double mean_interarrival_s = 600.0;  ///< one reclamation per 10 min
+  double zipf_exponent = 1.0;
+  std::int32_t population = 1;         ///< number of distinct victim ranks
+};
+
+/// Generates the full schedule of reclamation events over [0, horizon).
+/// Deterministic given the rng state.
+[[nodiscard]] std::vector<FaultEvent> generate_fault_schedule(
+    const FaultInjectorConfig& config, double horizon_s, Rng& rng);
+
+}  // namespace flstore

@@ -1,0 +1,55 @@
+#include "serverless/function_instance.hpp"
+
+namespace flstore {
+
+void FunctionInstance::put_object(const std::string& name,
+                                  std::shared_ptr<const Blob> blob,
+                                  units::Bytes logical_bytes) {
+  FLSTORE_CHECK(warm());
+  FLSTORE_CHECK(blob != nullptr);
+  const auto it = objects_.find(name);
+  if (it != objects_.end()) {
+    FLSTORE_CHECK(used_ >= it->second.logical_bytes);
+    used_ -= it->second.logical_bytes;
+    objects_.erase(it);
+  }
+  FLSTORE_CHECK(logical_bytes <= free_bytes());
+  objects_.emplace(name, Stored{std::move(blob), logical_bytes});
+  used_ += logical_bytes;
+}
+
+std::shared_ptr<const Blob> FunctionInstance::get_object(
+    const std::string& name) const {
+  const auto it = objects_.find(name);
+  return it == objects_.end() ? nullptr : it->second.blob;
+}
+
+units::Bytes FunctionInstance::object_size(const std::string& name) const {
+  const auto it = objects_.find(name);
+  FLSTORE_CHECK(it != objects_.end());
+  return it->second.logical_bytes;
+}
+
+bool FunctionInstance::evict_object(const std::string& name) {
+  const auto it = objects_.find(name);
+  if (it == objects_.end()) return false;
+  FLSTORE_CHECK(used_ >= it->second.logical_bytes);
+  used_ -= it->second.logical_bytes;
+  objects_.erase(it);
+  return true;
+}
+
+std::vector<std::string> FunctionInstance::object_names() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, _] : objects_) names.push_back(name);
+  return names;
+}
+
+void FunctionInstance::reclaim() {
+  state_ = FunctionState::kReclaimed;
+  objects_.clear();
+  used_ = 0;
+}
+
+}  // namespace flstore

@@ -1,0 +1,67 @@
+#include "serverless/function_runtime.hpp"
+
+#include <algorithm>
+
+namespace flstore {
+
+FunctionId FunctionRuntime::spawn(units::Bytes memory_limit) {
+  const auto id = static_cast<FunctionId>(instances_.size());
+  instances_.push_back(std::make_unique<FunctionInstance>(
+      id, memory_limit, config_.profile));
+  invoked_before_.push_back(false);
+  return id;
+}
+
+FunctionInstance& FunctionRuntime::instance(FunctionId id) {
+  FLSTORE_CHECK(id >= 0 && static_cast<std::size_t>(id) < instances_.size());
+  return *instances_[static_cast<std::size_t>(id)];
+}
+
+const FunctionInstance& FunctionRuntime::instance(FunctionId id) const {
+  FLSTORE_CHECK(id >= 0 && static_cast<std::size_t>(id) < instances_.size());
+  return *instances_[static_cast<std::size_t>(id)];
+}
+
+bool FunctionRuntime::is_warm(FunctionId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= instances_.size()) return false;
+  return instances_[static_cast<std::size_t>(id)]->warm();
+}
+
+InvocationResult FunctionRuntime::invoke(FunctionId id,
+                                         const ComputeWork& work) {
+  auto& fn = instance(id);
+  FLSTORE_CHECK(fn.warm());
+  InvocationResult res;
+  res.duration_s = config_.invoke_overhead_s + fn.execution_time(work);
+  auto first = invoked_before_[static_cast<std::size_t>(id)];
+  if (!first) {
+    res.duration_s += config_.cold_start_s;
+    invoked_before_[static_cast<std::size_t>(id)] = true;
+  }
+  res.cost_usd = pricing_->lambda_compute_cost(res.duration_s, fn.memory_limit());
+  billed_usd_ += res.cost_usd;
+  ++invocations_;
+  return res;
+}
+
+void FunctionRuntime::reclaim(FunctionId id) { instance(id).reclaim(); }
+
+std::size_t FunctionRuntime::warm_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(instances_.begin(), instances_.end(),
+                    [](const auto& fn) { return fn->warm(); }));
+}
+
+double FunctionRuntime::keepalive_cost(double seconds) const {
+  return pricing_->keepalive_cost(static_cast<int>(warm_count()), seconds);
+}
+
+units::Bytes FunctionRuntime::cached_bytes() const {
+  units::Bytes total = 0;
+  for (const auto& fn : instances_) {
+    if (fn->warm()) total += fn->used();
+  }
+  return total;
+}
+
+}  // namespace flstore

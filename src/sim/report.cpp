@@ -1,0 +1,32 @@
+#include "sim/report.hpp"
+
+#include <cstdio>
+
+namespace flstore::sim {
+
+std::map<fed::WorkloadType, WorkloadStats> by_workload(const RunResult& run) {
+  std::map<fed::WorkloadType, WorkloadStats> out;
+  for (const auto& rec : run.records) {
+    auto& stats = out[rec.request.type];
+    stats.latency.add(rec.latency_s());
+    stats.comm.add(rec.comm_s);
+    stats.comp.add(rec.comp_s);
+    stats.cost.add(rec.cost_usd);
+  }
+  return out;
+}
+
+std::string quartile_cell(const SampleSet& samples, int precision) {
+  if (samples.empty()) return "-";
+  const auto s = samples.summary();
+  return fmt(s.median, precision) + " [" + fmt(s.q1, precision) + ", " +
+         fmt(s.q3, precision) + "]";
+}
+
+void print_headline(const std::string& what, double paper_value,
+                    double measured_value, const std::string& unit) {
+  std::printf("  %-52s paper: %8.2f %-4s measured: %8.2f %s\n", what.c_str(),
+              paper_value, unit.c_str(), measured_value, unit.c_str());
+}
+
+}  // namespace flstore::sim

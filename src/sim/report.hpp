@@ -1,0 +1,35 @@
+// Aggregation and formatting helpers shared by the bench binaries: the
+// paper reports per-workload distributions (boxplots), totals over the
+// 50-hour window, and comm/comp breakdowns.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fed/request.hpp"
+#include "sim/runner.hpp"
+
+namespace flstore::sim {
+
+struct WorkloadStats {
+  SampleSet latency;
+  SampleSet comm;
+  SampleSet comp;
+  SampleSet cost;
+};
+
+/// Group a run's request records by workload type.
+[[nodiscard]] std::map<fed::WorkloadType, WorkloadStats> by_workload(
+    const RunResult& run);
+
+/// "median [q1, q3]" cell for boxplot-style tables.
+[[nodiscard]] std::string quartile_cell(const SampleSet& samples,
+                                        int precision = 2);
+
+/// Standard paper-vs-measured footer line used by every bench.
+void print_headline(const std::string& what, double paper_value,
+                    double measured_value, const std::string& unit);
+
+}  // namespace flstore::sim

@@ -1,0 +1,51 @@
+#include "sim/scenario.hpp"
+
+namespace flstore::sim {
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  fed::FLJobConfig job_cfg;
+  job_cfg.model = config_.model;
+  job_cfg.pool_size = config_.pool_size;
+  job_cfg.clients_per_round = config_.clients_per_round;
+  job_cfg.rounds = config_.rounds;
+  job_cfg.seed = config_.seed;
+  job_ = std::make_unique<fed::FLJob>(job_cfg);
+
+  store_ = std::make_unique<ObjectStore>(objstore_link(),
+                                         PricingCatalog::aws());
+
+  core::FLStoreConfig fl_cfg;
+  fl_cfg.pool.replicas = config_.replicas;
+  fl_cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
+  flstore_ = std::make_unique<core::FLStore>(fl_cfg, *job_, *store_);
+
+  baselines::BaselineConfig base_cfg;
+  base_cfg.vm_profile = vm_profile();
+  objstore_agg_ = std::make_unique<baselines::ObjStoreAggregator>(
+      base_cfg, *job_, *store_);
+  cache_agg_ = std::make_unique<baselines::CacheAggregator>(
+      base_cfg, *job_, *store_,
+      baselines::job_metadata_footprint(*job_), cloudcache_link());
+}
+
+std::vector<fed::NonTrainingRequest> Scenario::trace() const {
+  fed::TraceConfig tc;
+  tc.duration_s = config_.duration_s;
+  tc.total_requests = config_.total_requests;
+  tc.round_interval_s = config_.round_interval_s;
+  tc.workloads = config_.workloads;
+  tc.seed = config_.seed ^ 0x7ACEDULL;
+  return fed::generate_trace(tc, *job_);
+}
+
+std::unique_ptr<core::FLStore> Scenario::make_flstore_variant(
+    core::PolicyMode mode, units::Bytes cache_capacity, int replicas) const {
+  core::FLStoreConfig cfg;
+  cfg.policy.mode = mode;
+  cfg.cache_capacity = cache_capacity;
+  cfg.pool.replicas = replicas;
+  cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
+  return std::make_unique<core::FLStore>(cfg, *job_, *store_);
+}
+
+}  // namespace flstore::sim

@@ -1,0 +1,69 @@
+// Scenario: one §5.1 evaluation setup — a training job, a shared persistent
+// store, FLStore and both baselines over it, and the request trace.
+//
+// Benches construct a Scenario per model and hand its systems to the
+// ExperimentRunner. Extra FLStore variants (LRU/FIFO/Random/Static/limited)
+// can be spawned against the same job and store for the policy ablations.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/aggregator_baseline.hpp"
+#include "cloud/object_store.hpp"
+#include "core/flstore.hpp"
+#include "fed/fl_job.hpp"
+#include "fed/trace.hpp"
+#include "sim/calibration.hpp"
+
+namespace flstore::sim {
+
+struct ScenarioConfig {
+  std::string model = "efficientnet_v2_s";
+  std::int32_t pool_size = 250;
+  std::int32_t clients_per_round = 10;
+  RoundId rounds = 1000;
+  double duration_s = kTraceDurationS;
+  std::size_t total_requests = kTraceRequests;
+  double round_interval_s = kRoundIntervalS;
+  std::vector<fed::WorkloadType> workloads;  ///< empty = the paper's ten
+  std::uint64_t seed = 42;
+  int replicas = 1;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] fed::FLJob& job() noexcept { return *job_; }
+  [[nodiscard]] ObjectStore& store() noexcept { return *store_; }
+  [[nodiscard]] core::FLStore& flstore() noexcept { return *flstore_; }
+  [[nodiscard]] baselines::ObjStoreAggregator& objstore_agg() noexcept {
+    return *objstore_agg_;
+  }
+  [[nodiscard]] baselines::CacheAggregator& cache_agg() noexcept {
+    return *cache_agg_;
+  }
+
+  /// The §5.2 mixed trace for this scenario (deterministic).
+  [[nodiscard]] std::vector<fed::NonTrainingRequest> trace() const;
+
+  /// Build an extra FLStore variant over the same job/store (ablations).
+  [[nodiscard]] std::unique_ptr<core::FLStore> make_flstore_variant(
+      core::PolicyMode mode, units::Bytes cache_capacity = 0,
+      int replicas = 1) const;
+
+ private:
+  ScenarioConfig config_;
+  std::unique_ptr<fed::FLJob> job_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<core::FLStore> flstore_;
+  std::unique_ptr<baselines::ObjStoreAggregator> objstore_agg_;
+  std::unique_ptr<baselines::CacheAggregator> cache_agg_;
+};
+
+}  // namespace flstore::sim

@@ -1,0 +1,51 @@
+#include "sim/training_model.hpp"
+
+#include <algorithm>
+
+#include "cloud/pricing.hpp"
+#include "sim/calibration.hpp"
+
+namespace flstore::sim {
+
+namespace {
+/// Round deadline: client selection drops devices slower than this (REFL/
+/// Oort-style system filters), so a round never waits for extreme stragglers.
+constexpr double kStragglerDeadlineS = 300.0;
+constexpr double kAggregatorNicBps = 1.25e9;  // 10 Gbps receive path
+constexpr int kPersistParallelStreams = 3;    // one per MinIO node
+}  // namespace
+
+RoundTrainingProfile training_profile(const fed::FLJob& job, RoundId round) {
+  RoundTrainingProfile profile;
+  const auto record = job.make_round(round);
+
+  double slowest_client = 0.0;
+  for (const auto& m : record.metrics) {
+    slowest_client = std::max(
+        slowest_client,
+        std::min(m.train_time_s + m.upload_time_s, kStragglerDeadlineS));
+  }
+
+  const auto update_bytes = job.model().object_bytes;
+  const auto n = record.updates.size();
+  const double receive_s =
+      static_cast<double>(update_bytes) * static_cast<double>(n) /
+      kAggregatorNicBps;
+  // FedAvg over n updates: one pass over every parameter.
+  const double aggregate_s =
+      static_cast<double>(job.model().parameters) * static_cast<double>(n) /
+      vm_profile().flops_per_s;
+  // Persisting the round fans out across the MinIO nodes, so the streams
+  // aggregate bandwidth (unlike a single-consumer GET path).
+  auto persist_link = objstore_link();
+  persist_link.bandwidth_bytes_per_s *= kPersistParallelStreams;
+  const double persist_s = persist_link.batch_transfer_time(
+      update_bytes, n + 1, kPersistParallelStreams);
+
+  profile.latency_s = slowest_client + receive_s + aggregate_s + persist_s;
+  profile.vm_cost_usd = PricingCatalog::aws().vm_time_cost(
+      receive_s + aggregate_s + persist_s);
+  return profile;
+}
+
+}  // namespace flstore::sim

@@ -1,0 +1,24 @@
+// Per-round *training* latency/cost model, used by the whole-process
+// figures (Figs 1, 2, 10): non-training shares only mean something relative
+// to what a training round itself takes.
+#pragma once
+
+#include "fed/fl_job.hpp"
+
+namespace flstore::sim {
+
+struct RoundTrainingProfile {
+  double latency_s = 0.0;   ///< client train+upload (slowest, deadline-capped)
+                            ///< + aggregation + persist
+  double vm_cost_usd = 0.0; ///< aggregator active time (receive/aggregate/
+                            ///< persist) — client devices are free to the job
+};
+
+/// §5.1 deployment assumptions: clients train in parallel (round waits for
+/// the slowest, capped by a 600 s straggler deadline), the aggregator
+/// receives updates over its NIC, runs FedAvg, and persists the round to
+/// the object store over parallel streams.
+[[nodiscard]] RoundTrainingProfile training_profile(const fed::FLJob& job,
+                                                    RoundId round);
+
+}  // namespace flstore::sim

@@ -1,0 +1,61 @@
+#include "simnet/network.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+double Link::transfer_time(units::Bytes bytes) const {
+  FLSTORE_CHECK(bandwidth_bytes_per_s > 0.0);
+  return first_byte_latency_s +
+         static_cast<double>(bytes) / bandwidth_bytes_per_s;
+}
+
+double Link::batch_transfer_time(units::Bytes bytes, std::size_t count,
+                                 std::size_t parallelism) const {
+  FLSTORE_CHECK(parallelism >= 1);
+  if (count == 0) return 0.0;
+  // `parallelism` concurrent streams share the link bandwidth, so the bulk
+  // term is unchanged; only the per-object setup latency is overlapped.
+  const double waves = std::ceil(static_cast<double>(count) /
+                                 static_cast<double>(parallelism));
+  const double alpha = waves * first_byte_latency_s;
+  const double bulk = static_cast<double>(bytes) * static_cast<double>(count) /
+                      bandwidth_bytes_per_s;
+  return alpha + bulk;
+}
+
+const char* to_string(Endpoint e) noexcept {
+  switch (e) {
+    case Endpoint::kClient: return "client";
+    case Endpoint::kAggregatorVm: return "aggregator_vm";
+    case Endpoint::kObjectStore: return "object_store";
+    case Endpoint::kCloudCache: return "cloud_cache";
+    case Endpoint::kFunction: return "function";
+  }
+  return "?";
+}
+
+std::string Topology::key(Endpoint from, Endpoint to) {
+  return std::string(to_string(from)) + "->" + to_string(to);
+}
+
+void Topology::set_link(Endpoint a, Endpoint b, Link link, bool symmetric) {
+  links_[key(a, b)] = link;
+  if (symmetric) links_[key(b, a)] = link;
+}
+
+bool Topology::has_link(Endpoint from, Endpoint to) const noexcept {
+  return links_.contains(key(from, to));
+}
+
+const Link& Topology::link(Endpoint from, Endpoint to) const {
+  const auto it = links_.find(key(from, to));
+  if (it == links_.end()) {
+    throw InvalidArgument("no link " + key(from, to));
+  }
+  return it->second;
+}
+
+}  // namespace flstore

@@ -1,0 +1,56 @@
+// Network latency model.
+//
+// A Link is (first-byte latency, effective bandwidth). Transfer time of an
+// object is latency + bytes/bandwidth — the standard alpha-beta model, which
+// is what makes the baseline "communication-bound" behaviour of §2.3
+// reproducible: many medium-size objects pay the per-object latency over and
+// over, and bulk bytes pay the bandwidth term.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/units.hpp"
+
+namespace flstore {
+
+struct Link {
+  double first_byte_latency_s = 0.0;   ///< per-transfer setup cost (alpha)
+  double bandwidth_bytes_per_s = 1.0;  ///< sustained stream rate (beta^-1)
+
+  /// Time to move `bytes` over this link as one object/stream.
+  [[nodiscard]] double transfer_time(units::Bytes bytes) const;
+
+  /// Time to move `count` objects of `bytes` each, `parallelism` streams at
+  /// a time (per-object alpha paid per object, bandwidth shared ideally).
+  [[nodiscard]] double batch_transfer_time(units::Bytes bytes,
+                                           std::size_t count,
+                                           std::size_t parallelism = 1) const;
+};
+
+/// Named endpoints in the simulated deployment.
+enum class Endpoint {
+  kClient,         ///< FL client devices / client daemon
+  kAggregatorVm,   ///< SageMaker-style aggregator instance
+  kObjectStore,    ///< S3/MinIO persistent store
+  kCloudCache,     ///< ElastiCache-style in-memory cache service
+  kFunction,       ///< serverless function instance
+};
+
+[[nodiscard]] const char* to_string(Endpoint e) noexcept;
+
+/// Directed link table between endpoints. Symmetric by default (set once,
+/// both directions resolve), with override support for asymmetric paths.
+class Topology {
+ public:
+  void set_link(Endpoint a, Endpoint b, Link link, bool symmetric = true);
+  [[nodiscard]] const Link& link(Endpoint from, Endpoint to) const;
+  [[nodiscard]] bool has_link(Endpoint from, Endpoint to) const noexcept;
+
+ private:
+  [[nodiscard]] static std::string key(Endpoint from, Endpoint to);
+  std::unordered_map<std::string, Link> links_;
+};
+
+}  // namespace flstore

@@ -1,0 +1,32 @@
+// Lloyd's k-means over tensors. Used by the Clustering, Personalization and
+// Sched-Cluster workloads (Auxo/TiFL-style grouping of client updates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flstore {
+
+struct KMeansResult {
+  std::vector<Tensor> centroids;        // size k
+  std::vector<std::int32_t> assignment; // size n, values in [0, k)
+  double inertia = 0.0;                 // sum of squared distances
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct KMeansOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-6;  // relative inertia improvement to keep going
+};
+
+/// Runs k-means with k-means++-style seeding (deterministic given rng).
+/// Requires 1 <= k <= points.size() and equal dimensions.
+[[nodiscard]] KMeansResult kmeans(const std::vector<Tensor>& points,
+                                  std::int32_t k, Rng& rng,
+                                  const KMeansOptions& opts = {});
+
+}  // namespace flstore

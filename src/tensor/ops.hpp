@@ -1,0 +1,53 @@
+// Numeric kernels used by the non-training workloads. All functions check
+// dimension agreement with FLSTORE_CHECK — a silent shape bug would corrupt
+// every downstream experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace flstore::ops {
+
+[[nodiscard]] double dot(const Tensor& a, const Tensor& b);
+[[nodiscard]] double l2_norm(const Tensor& a);
+[[nodiscard]] double l2_distance(const Tensor& a, const Tensor& b);
+
+/// Cosine similarity in [-1, 1]; returns 0 when either vector is ~zero.
+[[nodiscard]] double cosine_similarity(const Tensor& a, const Tensor& b);
+
+/// y += alpha * x
+void axpy(double alpha, const Tensor& x, Tensor& y);
+void scale(Tensor& t, double alpha);
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+
+/// Arithmetic mean of a non-empty set of equally sized tensors.
+[[nodiscard]] Tensor mean(const std::vector<Tensor>& ts);
+/// Weighted mean with non-negative weights summing to a positive value.
+[[nodiscard]] Tensor weighted_mean(const std::vector<Tensor>& ts,
+                                   const std::vector<double>& weights);
+
+/// i.i.d. N(mean, stddev) tensor.
+[[nodiscard]] Tensor random_normal(std::size_t dim, Rng& rng,
+                                   double mean = 0.0, double stddev = 1.0);
+
+/// Index of the maximum element (first on ties). Tensor must be non-empty.
+[[nodiscard]] std::size_t argmax(const Tensor& t);
+
+/// Indices of the k largest values in descending order.
+[[nodiscard]] std::vector<std::size_t> top_k(const std::vector<double>& scores,
+                                             std::size_t k);
+
+/// Uniform symmetric quantization to `bits` (simulated: returns the
+/// dequantized tensor plus the achieved compression ratio 32/bits).
+struct QuantizationResult {
+  Tensor dequantized;
+  double compression_ratio = 1.0;
+  double max_abs_error = 0.0;
+};
+[[nodiscard]] QuantizationResult quantize(const Tensor& t, int bits);
+
+}  // namespace flstore::ops

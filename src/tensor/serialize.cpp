@@ -1,0 +1,76 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace flstore {
+
+namespace {
+constexpr std::uint8_t kMagic[4] = {'F', 'L', 'T', '1'};
+
+template <typename T>
+void append_raw(Blob& out, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::span<const std::uint8_t> bytes, std::size_t offset) {
+  T v;
+  std::memcpy(&v, bytes.data() + offset, sizeof(T));
+  return v;
+}
+}  // namespace
+
+std::uint64_t checksum(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t serialized_size(std::size_t dim) noexcept {
+  return sizeof(kMagic) + sizeof(std::uint64_t) + dim * sizeof(float) +
+         sizeof(std::uint64_t);
+}
+
+Blob serialize_tensor(const Tensor& t) {
+  Blob out;
+  out.reserve(serialized_size(t.dim()));
+  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
+  append_raw(out, static_cast<std::uint64_t>(t.dim()));
+  for (std::size_t i = 0; i < t.dim(); ++i) append_raw(out, t[i]);
+  const std::uint64_t crc = checksum(std::span(out.data(), out.size()));
+  append_raw(out, crc);
+  return out;
+}
+
+Tensor deserialize_tensor(std::span<const std::uint8_t> bytes) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + sizeof(std::uint64_t);
+  if (bytes.size() < kHeader + sizeof(std::uint64_t)) {
+    throw InvalidArgument("tensor blob too small");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw InvalidArgument("tensor blob bad magic");
+  }
+  const auto dim = read_raw<std::uint64_t>(bytes, sizeof(kMagic));
+  if (bytes.size() != serialized_size(dim)) {
+    throw InvalidArgument("tensor blob size mismatch");
+  }
+  const auto body_len = bytes.size() - sizeof(std::uint64_t);
+  const auto stored_crc = read_raw<std::uint64_t>(bytes, body_len);
+  if (checksum(bytes.subspan(0, body_len)) != stored_crc) {
+    throw InvalidArgument("tensor blob checksum mismatch");
+  }
+  Tensor t(dim);
+  for (std::uint64_t i = 0; i < dim; ++i) {
+    t[static_cast<std::size_t>(i)] =
+        read_raw<float>(bytes, kHeader + static_cast<std::size_t>(i) * sizeof(float));
+  }
+  return t;
+}
+
+}  // namespace flstore

@@ -1,0 +1,30 @@
+// Byte-level serialization of tensors with an integrity checksum.
+//
+// The persistent object store holds serialized blobs; the checksum catches
+// corruption bugs in cache/spill paths (a real concern when the same object
+// flows through function memory, replicas and the cold store).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace flstore {
+
+using Blob = std::vector<std::uint8_t>;
+
+/// FNV-1a 64-bit checksum of a byte range.
+[[nodiscard]] std::uint64_t checksum(std::span<const std::uint8_t> bytes);
+
+/// Layout: magic(4) | dim(u64) | payload(dim * f32, little-endian) | crc(u64).
+[[nodiscard]] Blob serialize_tensor(const Tensor& t);
+
+/// Throws InvalidArgument on malformed input or checksum mismatch.
+[[nodiscard]] Tensor deserialize_tensor(std::span<const std::uint8_t> bytes);
+
+/// Size in bytes that serialize_tensor would produce for a given dimension.
+[[nodiscard]] std::size_t serialized_size(std::size_t dim) noexcept;
+
+}  // namespace flstore

@@ -1,0 +1,104 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace flstore::workloads {
+
+namespace detail {
+// Family files register their implementations through these factories.
+std::vector<std::unique_ptr<Workload>> make_p1_workloads();
+std::vector<std::unique_ptr<Workload>> make_p2_round_analytics();
+std::vector<std::unique_ptr<Workload>> make_p2_debug_incentives();
+std::vector<std::unique_ptr<Workload>> make_p3_client_tracking();
+std::vector<std::unique_ptr<Workload>> make_p4_metadata();
+}  // namespace detail
+
+namespace {
+
+class Registry {
+ public:
+  Registry() {
+    auto absorb = [this](std::vector<std::unique_ptr<Workload>> ws) {
+      for (auto& w : ws) {
+        const auto type = w->type();
+        FLSTORE_CHECK(!by_type_.contains(type));
+        by_type_.emplace(type, std::move(w));
+      }
+    };
+    absorb(detail::make_p1_workloads());
+    absorb(detail::make_p2_round_analytics());
+    absorb(detail::make_p2_debug_incentives());
+    absorb(detail::make_p3_client_tracking());
+    absorb(detail::make_p4_metadata());
+  }
+
+  [[nodiscard]] const Workload& get(fed::WorkloadType type) const {
+    const auto it = by_type_.find(type);
+    if (it == by_type_.end()) {
+      throw InvalidArgument(std::string("no workload registered for ") +
+                            fed::to_string(type));
+    }
+    return *it->second;
+  }
+
+ private:
+  std::unordered_map<fed::WorkloadType, std::unique_ptr<Workload>> by_type_;
+};
+
+}  // namespace
+
+const Workload& workload_for(fed::WorkloadType type) {
+  static const Registry registry;
+  return registry.get(type);
+}
+
+ComputeWork scan_work(const WorkloadInput& in) {
+  ComputeWork w;
+  for (const auto& u : in.updates) {
+    w.bytes_touched += static_cast<double>(u.logical_bytes);
+  }
+  for (const auto& a : in.aggregates) {
+    w.bytes_touched += static_cast<double>(a.logical_bytes);
+  }
+  w.bytes_touched += static_cast<double>(fed::kMetricsLogicalBytes) *
+                     static_cast<double>(in.metrics.size());
+  w.bytes_touched += static_cast<double>(fed::kRoundInfoLogicalBytes) *
+                     static_cast<double>(in.round_infos.size());
+  return w;
+}
+
+double logical_params(const WorkloadInput& in) {
+  FLSTORE_CHECK(in.model != nullptr);
+  return static_cast<double>(in.model->parameters);
+}
+
+double median(std::vector<double> values) {
+  FLSTORE_CHECK(!values.empty());
+  const auto mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+void absorb_blob(WorkloadInput& in, const MetadataKey& key,
+                 std::span<const std::uint8_t> bytes) {
+  switch (key.kind) {
+    case ObjectKind::ClientUpdate:
+      in.updates.push_back(fed::decode_update(bytes));
+      break;
+    case ObjectKind::AggregatedModel:
+      in.aggregates.push_back(fed::decode_aggregate(bytes));
+      break;
+    case ObjectKind::ClientMetrics:
+      in.metrics.push_back(fed::decode_metrics(bytes));
+      break;
+    case ObjectKind::RoundMetadata:
+      in.round_infos.push_back(fed::decode_round_info(bytes));
+      break;
+  }
+}
+
+}  // namespace flstore::workloads

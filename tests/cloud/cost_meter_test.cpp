@@ -1,0 +1,62 @@
+#include "cloud/cost_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+TEST(CostMeter, ChargesAccumulate) {
+  CostMeter m;
+  m.charge(CostCategory::kComputation, 0.5);
+  m.charge(CostCategory::kComputation, 0.25);
+  m.charge(CostCategory::kCommunication, 1.0);
+  EXPECT_DOUBLE_EQ(m.get(CostCategory::kComputation), 0.75);
+  EXPECT_DOUBLE_EQ(m.total(), 1.75);
+  EXPECT_DOUBLE_EQ(m.serving(), 1.75);
+}
+
+TEST(CostMeter, ServingExcludesInfrastructure) {
+  CostMeter m;
+  m.charge(CostCategory::kComputation, 1.0);
+  m.charge(CostCategory::kStorageService, 2.0);
+  m.charge(CostCategory::kCacheService, 4.0);
+  m.charge(CostCategory::kKeepAlive, 8.0);
+  EXPECT_DOUBLE_EQ(m.serving(), 1.0);
+  EXPECT_DOUBLE_EQ(m.total(), 15.0);
+}
+
+TEST(CostMeter, MergeAdds) {
+  CostMeter a, b;
+  a.charge(CostCategory::kComputation, 1.0);
+  b.charge(CostCategory::kComputation, 2.0);
+  b.charge(CostCategory::kKeepAlive, 0.5);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get(CostCategory::kComputation), 3.0);
+  EXPECT_DOUBLE_EQ(a.get(CostCategory::kKeepAlive), 0.5);
+}
+
+TEST(CostMeter, ResetZeroes) {
+  CostMeter m;
+  m.charge(CostCategory::kCacheService, 9.0);
+  m.reset();
+  EXPECT_DOUBLE_EQ(m.total(), 0.0);
+}
+
+TEST(CostMeter, NegativeChargeRejected) {
+  CostMeter m;
+  EXPECT_THROW(m.charge(CostCategory::kComputation, -0.1), InternalError);
+}
+
+TEST(CostMeter, BreakdownMentionsAllCategories) {
+  CostMeter m;
+  m.charge(CostCategory::kCommunication, 0.125);
+  const auto s = m.breakdown();
+  EXPECT_NE(s.find("communication=$0.125"), std::string::npos);
+  EXPECT_NE(s.find("computation=$0"), std::string::npos);
+  EXPECT_NE(s.find("keep_alive"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flstore

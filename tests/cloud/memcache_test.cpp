@@ -1,0 +1,114 @@
+#include "cloud/memcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+using units::GB;
+using units::MB;
+
+std::shared_ptr<const Blob> blob(std::uint8_t v) {
+  return std::make_shared<const Blob>(Blob{v});
+}
+
+MemCacheService make_cache(int nodes = 1) {
+  return MemCacheService(nodes, Link{0.001, 250.0 * 1e6},
+                         PricingCatalog::aws());
+}
+
+TEST(MemCache, HitAfterPut) {
+  auto c = make_cache();
+  c.put("a", blob(1), 100 * MB);
+  const auto got = c.get("a");
+  ASSERT_TRUE(got.hit);
+  EXPECT_EQ((*got.blob)[0], 1);
+  EXPECT_NEAR(got.latency_s, 0.001 + 0.4, 1e-9);
+  EXPECT_EQ(c.hits(), 1U);
+}
+
+TEST(MemCache, MissCheap) {
+  auto c = make_cache();
+  const auto got = c.get("missing");
+  EXPECT_FALSE(got.hit);
+  EXPECT_NEAR(got.latency_s, 0.001, 1e-12);
+  EXPECT_EQ(c.misses(), 1U);
+}
+
+TEST(MemCache, CapacityFromNodes) {
+  auto c1 = make_cache(1);
+  auto c3 = make_cache(3);
+  EXPECT_EQ(c3.capacity(), 3 * c1.capacity());
+  EXPECT_EQ(c1.capacity(), PricingCatalog::aws().cache_node_capacity);
+}
+
+TEST(MemCache, LruEvictionOrder) {
+  auto c = make_cache();
+  const auto cap = c.capacity();
+  const auto third = cap / 3 + 1;  // three objects overflow
+  c.put("a", blob(1), third);
+  c.put("b", blob(2), third);
+  // Touch "a" so "b" is the LRU victim.
+  (void)c.get("a");
+  c.put("c", blob(3), third);
+  EXPECT_TRUE(c.contains("a"));
+  EXPECT_FALSE(c.contains("b"));
+  EXPECT_TRUE(c.contains("c"));
+  EXPECT_EQ(c.evictions(), 1U);
+}
+
+TEST(MemCache, UsedBytesTracked) {
+  auto c = make_cache();
+  c.put("a", blob(1), 10 * MB);
+  c.put("b", blob(2), 5 * MB);
+  EXPECT_EQ(c.used(), 15 * MB);
+  c.put("a", blob(9), 2 * MB);  // replace shrinks usage
+  EXPECT_EQ(c.used(), 7 * MB);
+}
+
+TEST(MemCache, ObjectLargerThanCapacityRejected) {
+  auto c = make_cache();
+  c.put("big", blob(1), c.capacity() + 1);
+  EXPECT_FALSE(c.contains("big"));
+  EXPECT_EQ(c.used(), 0U);
+}
+
+TEST(MemCache, EvictsMultipleToFit) {
+  auto c = make_cache();
+  const auto cap = c.capacity();
+  c.put("a", blob(1), cap / 2);
+  c.put("b", blob(2), cap / 2);
+  c.put("big", blob(3), cap - 10);
+  EXPECT_FALSE(c.contains("a"));
+  EXPECT_FALSE(c.contains("b"));
+  EXPECT_TRUE(c.contains("big"));
+  EXPECT_EQ(c.evictions(), 2U);
+}
+
+TEST(MemCache, ProvisioningCostByNodeHours) {
+  auto c = make_cache(4);
+  EXPECT_NEAR(c.provisioning_cost(3600.0), 4 * 0.411, 1e-9);
+}
+
+TEST(MemCache, RequiresAtLeastOneNode) {
+  EXPECT_THROW(MemCacheService(0, Link{0.001, 1e8}, PricingCatalog::aws()),
+               InternalError);
+}
+
+TEST(MemCache, GetRefreshesLruOnEveryAccess) {
+  auto c = make_cache();
+  const auto cap = c.capacity();
+  const auto half = cap / 2 + 1;
+  c.put("a", blob(1), half);
+  c.put("b", blob(2), half);  // evicts a
+  EXPECT_FALSE(c.contains("a"));
+  (void)c.get("b");
+  c.put("c", blob(3), half);  // evicts... only b present; b was touched
+  EXPECT_FALSE(c.contains("b"));
+  EXPECT_TRUE(c.contains("c"));
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,62 @@
+#include "cloud/pricing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+using units::GB;
+
+const PricingCatalog& p = PricingCatalog::aws();
+
+TEST(Pricing, LambdaComputeCost) {
+  // 2.8s at 4GB: 2.8 * 4 * 1.66667e-5 + invocation fee.
+  const double c = p.lambda_compute_cost(2.8, 4 * GB);
+  EXPECT_NEAR(c, 2.8 * 4 * 0.0000166667 + 0.0000002, 1e-9);
+}
+
+TEST(Pricing, LambdaZeroDurationStillPaysInvocation) {
+  EXPECT_NEAR(p.lambda_compute_cost(0.0, 1 * GB), 0.0000002, 1e-12);
+}
+
+TEST(Pricing, VmHourCost) {
+  EXPECT_NEAR(p.vm_time_cost(3600.0), 0.922, 1e-9);
+  EXPECT_NEAR(p.vm_time_cost(60.0), 0.922 / 60.0, 1e-9);
+}
+
+TEST(Pricing, S3StorageCost) {
+  // 1000 GB for a month = $23.
+  EXPECT_NEAR(p.s3_storage_cost(1000 * GB, 30.0 * 86400.0), 23.0, 1e-6);
+}
+
+TEST(Pricing, CacheNodesForWorkingSet) {
+  EXPECT_EQ(p.cache_nodes_for(0), 0);
+  EXPECT_EQ(p.cache_nodes_for(1 * GB), 1);
+  EXPECT_EQ(p.cache_nodes_for(p.cache_node_capacity), 1);
+  EXPECT_EQ(p.cache_nodes_for(p.cache_node_capacity + 1), 2);
+  // 1.6 TB working set (EfficientNet, 1000 rounds x 10 clients).
+  const auto nodes = p.cache_nodes_for(static_cast<units::Bytes>(1.6e12));
+  EXPECT_EQ(nodes, 61);
+}
+
+TEST(Pricing, CacheNodeHourCost) {
+  EXPECT_NEAR(p.cache_nodes_cost(2, 3600.0), 2 * 0.411, 1e-9);
+  EXPECT_DOUBLE_EQ(p.cache_nodes_cost(0, 3600.0), 0.0);
+}
+
+TEST(Pricing, KeepAliveMonthlyCost) {
+  // Paper §4.5: pinging every minute costs $0.0087 per instance-month.
+  EXPECT_NEAR(p.keepalive_cost(1, 30.0 * 86400.0), 0.0087, 1e-9);
+  EXPECT_NEAR(p.keepalive_cost(5, units::hours(50)),
+              5 * 0.0087 * 50.0 / (30.0 * 24.0), 1e-9);
+}
+
+TEST(Pricing, NegativeTimeRejected) {
+  EXPECT_THROW((void)p.vm_time_cost(-1.0), InternalError);
+  EXPECT_THROW((void)p.lambda_compute_cost(-0.1, GB), InternalError);
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,97 @@
+#include "common/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3U);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  std::vector<double> times;
+  q.schedule_at(1.0, [&] {
+    times.push_back(q.now());
+    q.schedule_in(0.5, [&] { times.push_back(q.now()); });
+  });
+  q.run();
+  ASSERT_EQ(times.size(), 2U);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EventQueue, HorizonStopsExecution) {
+  EventQueue q;
+  int ran = 0;
+  q.schedule_at(1.0, [&] { ++ran; });
+  q.schedule_at(10.0, [&] { ++ran; });
+  q.run(5.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(q.pending(), 1U);
+  // Clock does not advance past executed events when work remains.
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+TEST(EventQueue, HorizonAdvancesClockWhenDrained) {
+  EventQueue q;
+  q.schedule_at(1.0, [] {});
+  q.run(5.0);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule_at(2.0, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(1.0, [] {}), InternalError);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(0.0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ManyEventsDeterministic) {
+  // Same schedule twice yields identical execution traces.
+  auto run_once = [] {
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i) {
+      q.schedule_at(static_cast<double>((i * 7919) % 100), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    q.run();
+    return order;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace flstore

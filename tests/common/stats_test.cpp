@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+TEST(SampleSet, MeanAndSum) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(SampleSet, AddN) {
+  SampleSet s;
+  s.add_n(5.0, 4);
+  EXPECT_EQ(s.size(), 4U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(SampleSet, PercentileInterpolates) {
+  SampleSet s;
+  for (const double v : {10.0, 20.0, 30.0, 40.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+}
+
+TEST(SampleSet, PercentileSingleSample) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.0);
+}
+
+TEST(SampleSet, SummaryOrderingInvariant) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.add(static_cast<double>(i));
+  const auto sum = s.summary();
+  EXPECT_EQ(sum.count, 100U);
+  EXPECT_DOUBLE_EQ(sum.min, 1.0);
+  EXPECT_DOUBLE_EQ(sum.max, 100.0);
+  EXPECT_LE(sum.min, sum.q1);
+  EXPECT_LE(sum.q1, sum.median);
+  EXPECT_LE(sum.median, sum.q3);
+  EXPECT_LE(sum.q3, sum.max);
+  EXPECT_DOUBLE_EQ(sum.mean, 50.5);
+}
+
+TEST(SampleSet, AddAfterSummaryStillCorrect) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(1.0);
+  (void)s.summary();
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+}
+
+TEST(SampleSet, EmptyThrowsOnStats) {
+  SampleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.mean(), InternalError);
+  EXPECT_THROW((void)s.summary(), InternalError);
+}
+
+TEST(PercentReduction, Basic) {
+  EXPECT_DOUBLE_EQ(percent_reduction(100.0, 29.0), 71.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(percent_reduction(10.0, 20.0), -100.0);
+}
+
+TEST(PercentReduction, ZeroBaselineThrows) {
+  EXPECT_THROW((void)percent_reduction(0.0, 1.0), InternalError);
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,51 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"app", "latency"});
+  t.add_row({"debugging", "12.5"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("app"), std::string::npos);
+  EXPECT_NE(s.find("debugging"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_row({"y", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,1\ny,2\n");
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+TEST(Fmt, Usd) {
+  EXPECT_EQ(fmt_usd(0.0123), "$0.0123");
+  EXPECT_EQ(fmt_usd(0.000012), "$0.000012");
+  EXPECT_EQ(fmt_usd(0.0), "$0.0000");
+}
+
+TEST(Fmt, Pct) { EXPECT_EQ(fmt_pct(92.45), "92.5%"); }
+
+TEST(Fmt, Bytes) {
+  EXPECT_EQ(fmt_bytes(161.2), "161.2 MB");
+  EXPECT_EQ(fmt_bytes(1580.0), "1.58 GB");
+  EXPECT_EQ(fmt_bytes(0.5), "500.0 KB");
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,97 @@
+// Property-based tests: CacheEngine invariants under randomized operation
+// sequences (parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include "core/cache_engine.hpp"
+
+namespace flstore::core {
+namespace {
+
+using units::MB;
+
+class EngineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzz, InvariantsHoldUnderRandomOps) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  FunctionRuntime runtime(FunctionRuntime::Config{}, PricingCatalog::aws());
+  ServerlessCachePool pool(
+      ServerlessCachePool::Config{1 * units::GB, 1, 0.5, 0}, runtime);
+  const units::Bytes capacity = 500 * MB;
+  CacheEngine engine(CacheEngine::Config{capacity, PolicyMode::kLru}, pool);
+
+  const auto blob = std::make_shared<const Blob>(Blob{1, 2, 3});
+  std::uint64_t lookups = 0;
+  double now = 0.0;
+
+  for (int op = 0; op < 600; ++op) {
+    now += 1.0;
+    const MetadataKey key = MetadataKey::update(
+        static_cast<ClientId>(rng.uniform_int(0, 9)),
+        static_cast<RoundId>(rng.uniform_int(0, 19)));
+    const auto action = rng.uniform_int(0, 2);
+    if (action == 0) {
+      const auto size = static_cast<units::Bytes>(
+          rng.uniform_int(1, 120)) * MB;
+      (void)engine.cache_object(key, blob, size, now);
+    } else if (action == 1) {
+      (void)engine.lookup(key, now);
+      ++lookups;
+    } else {
+      (void)engine.evict(key);
+    }
+
+    // Invariant 1: capacity is never exceeded.
+    ASSERT_LE(engine.cached_bytes(), capacity);
+    // Invariant 2: lookups are fully classified.
+    ASSERT_EQ(engine.hits() + engine.misses(), lookups);
+  }
+  // Invariant 3: draining the index leaves zero bytes.
+  for (ClientId c = 0; c < 10; ++c) {
+    for (RoundId r = 0; r < 20; ++r) {
+      (void)engine.evict(MetadataKey::update(c, r));
+    }
+  }
+  EXPECT_EQ(engine.cached_bytes(), 0U);
+  EXPECT_EQ(engine.object_count(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(0, 12));
+
+class PoolFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolFuzz, ReplicaGroupsSurviveRandomFaultsAndRepairs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+  FunctionRuntime runtime(FunctionRuntime::Config{}, PricingCatalog::aws());
+  const int replicas = 3;
+  ServerlessCachePool pool(
+      ServerlessCachePool::Config{1 * units::GB, replicas, 0.5, 0}, runtime);
+  const auto blob = std::make_shared<const Blob>(Blob{9});
+  const auto group = pool.put("obj", blob, 100 * units::MB);
+  ASSERT_TRUE(group.has_value());
+
+  for (int step = 0; step < 100; ++step) {
+    if (rng.bernoulli(0.4)) {
+      (void)pool.reclaim_member(*group,
+                                static_cast<int>(rng.uniform_int(0, replicas - 1)));
+    } else {
+      (void)pool.repair(*group);
+    }
+    // Invariant: as long as one member is warm, the object is readable and
+    // failover delay is bounded by (replicas-1) timeouts.
+    if (pool.group_alive(*group)) {
+      const auto access = pool.get(*group, "obj");
+      ASSERT_TRUE(access.ok);
+      ASSERT_LE(access.failover_delay_s, 0.5 * (replicas - 1) + 1e-9);
+    } else {
+      ASSERT_FALSE(pool.get(*group, "obj").ok);
+      // Dead groups cannot repair from nothing.
+      ASSERT_FALSE(pool.repair(*group));
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolFuzz, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace flstore::core

@@ -1,0 +1,174 @@
+#include "core/cache_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/pricing.hpp"
+
+namespace flstore::core {
+namespace {
+
+using units::GB;
+using units::MB;
+
+struct EngineFixture : ::testing::Test {
+  EngineFixture()
+      : runtime(FunctionRuntime::Config{}, PricingCatalog::aws()),
+        pool(ServerlessCachePool::Config{1 * GB, 1, 0.5, 0}, runtime) {}
+
+  CacheEngine make_engine(units::Bytes capacity = 0,
+                          PolicyMode order = PolicyMode::kLru) {
+    return CacheEngine(CacheEngine::Config{capacity, order}, pool);
+  }
+
+  static std::shared_ptr<const Blob> blob(std::uint8_t v = 1) {
+    return std::make_shared<const Blob>(Blob{v});
+  }
+
+  FunctionRuntime runtime;
+  ServerlessCachePool pool;
+};
+
+TEST_F(EngineFixture, MissThenHit) {
+  auto engine = make_engine();
+  const auto key = MetadataKey::update(1, 2);
+  EXPECT_FALSE(engine.lookup(key, 0.0).hit);
+  EXPECT_EQ(engine.misses(), 1U);
+  ASSERT_TRUE(engine.cache_object(key, blob(), 100 * MB, 0.0));
+  const auto hit = engine.lookup(key, 1.0);
+  EXPECT_TRUE(hit.hit);
+  EXPECT_NE(hit.blob, nullptr);
+  EXPECT_EQ(engine.hits(), 1U);
+  EXPECT_EQ(engine.cached_bytes(), 100 * MB);
+}
+
+TEST_F(EngineFixture, AvailableAtModelsPrefetchInFlight) {
+  auto engine = make_engine();
+  const auto key = MetadataKey::update(1, 2);
+  ASSERT_TRUE(engine.cache_object(key, blob(), MB, /*now=*/0.0,
+                                  /*available_at=*/5.0));
+  const auto hit = engine.lookup(key, 1.0);
+  ASSERT_TRUE(hit.hit);
+  EXPECT_DOUBLE_EQ(hit.available_at, 5.0);
+  // After arrival, no wait remains.
+  EXPECT_DOUBLE_EQ(engine.lookup(key, 9.0).available_at, 9.0);
+}
+
+TEST_F(EngineFixture, EvictRemovesFromPoolAndIndex) {
+  auto engine = make_engine();
+  const auto key = MetadataKey::update(3, 4);
+  ASSERT_TRUE(engine.cache_object(key, blob(), 10 * MB, 0.0));
+  EXPECT_TRUE(engine.evict(key));
+  EXPECT_FALSE(engine.evict(key));
+  EXPECT_EQ(engine.cached_bytes(), 0U);
+  EXPECT_FALSE(engine.lookup(key, 0.0).hit);
+}
+
+TEST_F(EngineFixture, CapacityPressureEvictsLru) {
+  auto engine = make_engine(300 * MB, PolicyMode::kLru);
+  const auto a = MetadataKey::update(0, 0);
+  const auto b = MetadataKey::update(1, 0);
+  const auto c = MetadataKey::update(2, 0);
+  ASSERT_TRUE(engine.cache_object(a, blob(), 120 * MB, 0.0));
+  ASSERT_TRUE(engine.cache_object(b, blob(), 120 * MB, 0.0));
+  (void)engine.lookup(a, 1.0);  // touch a; b is LRU
+  ASSERT_TRUE(engine.cache_object(c, blob(), 120 * MB, 2.0));
+  EXPECT_TRUE(engine.contains(a));
+  EXPECT_FALSE(engine.contains(b));
+  EXPECT_TRUE(engine.contains(c));
+  EXPECT_EQ(engine.forced_evictions(), 1U);
+}
+
+TEST_F(EngineFixture, CapacityPressureEvictsFifo) {
+  auto engine = make_engine(300 * MB, PolicyMode::kFifo);
+  const auto a = MetadataKey::update(0, 0);
+  const auto b = MetadataKey::update(1, 0);
+  ASSERT_TRUE(engine.cache_object(a, blob(), 120 * MB, 0.0));
+  ASSERT_TRUE(engine.cache_object(b, blob(), 120 * MB, 0.0));
+  (void)engine.lookup(a, 1.0);  // recency must not matter for FIFO
+  ASSERT_TRUE(
+      engine.cache_object(MetadataKey::update(2, 0), blob(), 120 * MB, 2.0));
+  EXPECT_FALSE(engine.contains(a));
+  EXPECT_TRUE(engine.contains(b));
+}
+
+TEST_F(EngineFixture, CapacityPressureEvictsLfu) {
+  auto engine = make_engine(300 * MB, PolicyMode::kLfu);
+  const auto a = MetadataKey::update(0, 0);
+  const auto b = MetadataKey::update(1, 0);
+  ASSERT_TRUE(engine.cache_object(a, blob(), 120 * MB, 0.0));
+  ASSERT_TRUE(engine.cache_object(b, blob(), 120 * MB, 0.0));
+  (void)engine.lookup(a, 1.0);
+  (void)engine.lookup(a, 2.0);
+  (void)engine.lookup(b, 3.0);
+  ASSERT_TRUE(
+      engine.cache_object(MetadataKey::update(2, 0), blob(), 120 * MB, 4.0));
+  EXPECT_TRUE(engine.contains(a));
+  EXPECT_FALSE(engine.contains(b));
+}
+
+TEST_F(EngineFixture, ObjectBiggerThanCapacityRejected) {
+  auto engine = make_engine(100 * MB);
+  EXPECT_FALSE(
+      engine.cache_object(MetadataKey::update(0, 0), blob(), 200 * MB, 0.0));
+  EXPECT_EQ(engine.cached_bytes(), 0U);
+}
+
+TEST_F(EngineFixture, ReinsertIsIdempotent) {
+  auto engine = make_engine();
+  const auto key = MetadataKey::update(7, 7);
+  ASSERT_TRUE(engine.cache_object(key, blob(), 10 * MB, 0.0));
+  ASSERT_TRUE(engine.cache_object(key, blob(), 10 * MB, 1.0));
+  EXPECT_EQ(engine.object_count(), 1U);
+  EXPECT_EQ(engine.cached_bytes(), 10 * MB);
+}
+
+TEST_F(EngineFixture, DropGroupInvalidatesEntries) {
+  auto engine = make_engine();
+  ASSERT_TRUE(engine.cache_object(MetadataKey::update(0, 0), blob(), 400 * MB,
+                                  0.0));
+  ASSERT_TRUE(engine.cache_object(MetadataKey::update(1, 0), blob(), 400 * MB,
+                                  0.0));
+  // Both land in group 0 (1 GB function); kill it.
+  pool.reclaim_member(0, 0);
+  const auto dropped = engine.drop_group(0);
+  EXPECT_EQ(dropped, 2U);
+  EXPECT_EQ(engine.cached_bytes(), 0U);
+  EXPECT_FALSE(engine.lookup(MetadataKey::update(0, 0), 1.0).hit);
+}
+
+TEST_F(EngineFixture, StaleEntryAfterUnnoticedGroupDeathCleansUp) {
+  auto engine = make_engine();
+  const auto key = MetadataKey::update(0, 0);
+  ASSERT_TRUE(engine.cache_object(key, blob(), 100 * MB, 0.0));
+  pool.reclaim_member(0, 0);  // engine not told (no drop_group call)
+  const auto res = engine.lookup(key, 1.0);
+  EXPECT_FALSE(res.hit);
+  EXPECT_FALSE(engine.contains(key));  // lazily cleaned
+  EXPECT_EQ(engine.cached_bytes(), 0U);
+}
+
+TEST_F(EngineFixture, HitMissCountsAreAccessGranular) {
+  auto engine = make_engine();
+  const auto key = MetadataKey::metrics(1, 1);
+  (void)engine.lookup(key, 0.0);
+  ASSERT_TRUE(engine.cache_object(key, blob(), units::KB, 0.0));
+  (void)engine.lookup(key, 1.0);
+  (void)engine.lookup(key, 2.0);
+  EXPECT_EQ(engine.hits(), 2U);
+  EXPECT_EQ(engine.misses(), 1U);
+}
+
+TEST_F(EngineFixture, BookkeepingBytesGrowWithEntries) {
+  auto engine = make_engine();
+  const auto before = engine.bookkeeping_bytes();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        engine.cache_object(MetadataKey::metrics(i, 0), blob(), units::KB, 0.0));
+  }
+  EXPECT_GT(engine.bookkeeping_bytes(), before);
+  // §5.5 scale check: 100 entries stay well under a MB of bookkeeping.
+  EXPECT_LT(engine.bookkeeping_bytes(), 1024U * 1024U);
+}
+
+}  // namespace
+}  // namespace flstore::core

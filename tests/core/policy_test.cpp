@@ -1,0 +1,183 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "fed/fl_job.hpp"
+
+namespace flstore::core {
+namespace {
+
+fed::FLJob make_job() {
+  fed::FLJobConfig cfg;
+  cfg.model = "resnet18";
+  cfg.pool_size = 30;
+  cfg.clients_per_round = 6;
+  cfg.rounds = 50;
+  cfg.seed = 3;
+  return fed::FLJob(cfg);
+}
+
+fed::NonTrainingRequest req_of(fed::WorkloadType t, RoundId r,
+                               ClientId c = kNoClient) {
+  fed::NonTrainingRequest req;
+  req.id = 1;
+  req.type = t;
+  req.round = r;
+  req.client = c;
+  return req;
+}
+
+bool contains_key(const std::vector<MetadataKey>& keys, const MetadataKey& k) {
+  return std::find(keys.begin(), keys.end(), k) != keys.end();
+}
+
+TEST(Policy, P2PlanPrefetchesNextRoundAndEvictsPrevious) {
+  const auto job = make_job();
+  PolicyEngine engine(PolicyConfig{});
+  const auto plan = engine.plan_request(
+      req_of(fed::WorkloadType::kMaliciousFilter, 10), job);
+  // Prefetch: all of round 11 + its aggregate.
+  for (const auto c : job.participants(11)) {
+    EXPECT_TRUE(contains_key(plan.prefetch, MetadataKey::update(c, 11)));
+  }
+  EXPECT_TRUE(contains_key(plan.prefetch, MetadataKey::aggregate(11)));
+  // Evict: round 8 slid out of the two-round window; round 9 must stay
+  // (debugging/incentives diff round 10 against it).
+  for (const auto c : job.participants(8)) {
+    EXPECT_TRUE(contains_key(plan.evict, MetadataKey::update(c, 8)));
+  }
+  for (const auto c : job.participants(9)) {
+    EXPECT_FALSE(contains_key(plan.evict, MetadataKey::update(c, 9)));
+  }
+}
+
+TEST(Policy, P2PlanAtLatestRoundPrefetchesNothing) {
+  const auto job = make_job();
+  PolicyEngine engine(PolicyConfig{});
+  const auto plan = engine.plan_request(
+      req_of(fed::WorkloadType::kClustering, job.latest_round()), job);
+  EXPECT_TRUE(plan.prefetch.empty());
+}
+
+TEST(Policy, P3PlanPrefetchesNextParticipation) {
+  const auto job = make_job();
+  PolicyEngine engine(PolicyConfig{});
+  const auto client = job.participants(5).front();
+  const auto plan =
+      engine.plan_request(req_of(fed::WorkloadType::kReputation, 5, client), job);
+  const auto next = job.next_participation(client, 5);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_TRUE(contains_key(plan.prefetch, MetadataKey::update(client, *next)));
+  EXPECT_TRUE(contains_key(plan.prefetch, MetadataKey::metrics(client, *next)));
+}
+
+TEST(Policy, P1AndP4PlansAreQuiet) {
+  const auto job = make_job();
+  PolicyEngine engine(PolicyConfig{});
+  EXPECT_TRUE(engine.plan_request(req_of(fed::WorkloadType::kInference, 10), job)
+                  .prefetch.empty());
+  EXPECT_TRUE(
+      engine.plan_request(req_of(fed::WorkloadType::kSchedulingPerf, 10), job)
+          .prefetch.empty());
+}
+
+TEST(Policy, TraditionalModesNeverPlan) {
+  const auto job = make_job();
+  for (const auto mode : {PolicyMode::kLru, PolicyMode::kLfu, PolicyMode::kFifo}) {
+    PolicyConfig cfg;
+    cfg.mode = mode;
+    PolicyEngine engine(cfg);
+    const auto rplan = engine.plan_request(
+        req_of(fed::WorkloadType::kMaliciousFilter, 10), job);
+    EXPECT_TRUE(rplan.prefetch.empty());
+    EXPECT_TRUE(rplan.evict.empty());
+    const auto iplan = engine.plan_ingest(job.make_round(3), job);
+    EXPECT_TRUE(iplan.cache.empty());
+  }
+}
+
+TEST(Policy, IngestCachesLatestRoundAndWindows) {
+  const auto job = make_job();
+  PolicyEngine engine(PolicyConfig{});
+  const auto rec = job.make_round(20);
+  const auto plan = engine.plan_ingest(rec, job);
+  for (const auto& u : rec.updates) {
+    EXPECT_TRUE(contains_key(plan.cache, MetadataKey::update(u.client, 20)));
+    EXPECT_TRUE(contains_key(plan.cache, MetadataKey::metrics(u.client, 20)));
+  }
+  EXPECT_TRUE(contains_key(plan.cache, MetadataKey::aggregate(20)));
+  EXPECT_TRUE(contains_key(plan.cache, MetadataKey::metadata(20)));
+  // Evictions: round-18 updates, round-10 metadata (window 10).
+  for (const auto c : job.participants(18)) {
+    EXPECT_TRUE(contains_key(plan.evict, MetadataKey::update(c, 18)));
+  }
+  EXPECT_TRUE(contains_key(plan.evict, MetadataKey::metadata(10)));
+}
+
+TEST(Policy, IngestEarlyRoundsEvictNothing) {
+  const auto job = make_job();
+  PolicyEngine engine(PolicyConfig{});
+  const auto plan = engine.plan_ingest(job.make_round(0), job);
+  EXPECT_TRUE(plan.evict.empty());
+  EXPECT_FALSE(plan.cache.empty());
+}
+
+TEST(Policy, MetadataWindowConfigurable) {
+  const auto job = make_job();
+  PolicyConfig cfg;
+  cfg.metadata_window = 3;
+  PolicyEngine engine(cfg);
+  const auto plan = engine.plan_ingest(job.make_round(20), job);
+  EXPECT_TRUE(contains_key(plan.evict, MetadataKey::metadata(17)));
+}
+
+TEST(Policy, StaticModeUsesOneClassOnly) {
+  const auto job = make_job();
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kTailoredStatic;
+  cfg.static_class = fed::PolicyClass::kP1;
+  PolicyEngine engine(cfg);
+  // Ingest under P1-static caches only the aggregate.
+  const auto plan = engine.plan_ingest(job.make_round(5), job);
+  ASSERT_EQ(plan.cache.size(), 1U);
+  EXPECT_EQ(plan.cache.front(), MetadataKey::aggregate(5));
+  // Every request is treated as P1, even a P2 workload.
+  EXPECT_EQ(engine.effective_class(
+                req_of(fed::WorkloadType::kMaliciousFilter, 5)),
+            fed::PolicyClass::kP1);
+}
+
+TEST(Policy, RandomModeCoversAllClasses) {
+  const auto job = make_job();
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kTailoredRandom;
+  PolicyEngine engine(cfg);
+  std::set<fed::PolicyClass> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(engine.effective_class(
+        req_of(fed::WorkloadType::kMaliciousFilter, 5)));
+  }
+  EXPECT_EQ(seen.size(), 4U);
+}
+
+TEST(Policy, EffectiveClassThrowsForTraditional) {
+  PolicyConfig cfg;
+  cfg.mode = PolicyMode::kLru;
+  PolicyEngine engine(cfg);
+  EXPECT_THROW(
+      (void)engine.effective_class(req_of(fed::WorkloadType::kInference, 0)),
+      InternalError);
+}
+
+TEST(Policy, ModeNames) {
+  EXPECT_STREQ(to_string(PolicyMode::kTailored), "FLStore");
+  EXPECT_STREQ(to_string(PolicyMode::kLru), "FLStore-LRU");
+  EXPECT_TRUE(is_tailored(PolicyMode::kTailoredStatic));
+  EXPECT_FALSE(is_tailored(PolicyMode::kFifo));
+}
+
+}  // namespace
+}  // namespace flstore::core

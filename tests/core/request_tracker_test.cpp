@@ -1,0 +1,83 @@
+#include "core/request_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore::core {
+namespace {
+
+TEST(RequestTracker, LifecycleAndProgress) {
+  RequestTracker t;
+  t.begin(1, 10.0);
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_FALSE(t.is_done(1));
+  EXPECT_EQ(t.in_flight(), 1U);
+  t.add_function(1, 5);
+  t.add_function(1, 6);
+  t.add_function(1, 5);  // duplicate ignored
+  t.finish(1, 12.5);
+  EXPECT_TRUE(t.is_done(1));
+  EXPECT_EQ(t.in_flight(), 0U);
+  const auto& e = t.get(1);
+  EXPECT_EQ(e.functions, (std::vector<FunctionId>{5, 6}));
+  EXPECT_DOUBLE_EQ(e.started_at, 10.0);
+  EXPECT_DOUBLE_EQ(e.finished_at, 12.5);
+}
+
+TEST(RequestTracker, DuplicateBeginRejected) {
+  RequestTracker t;
+  t.begin(1, 0.0);
+  EXPECT_THROW(t.begin(1, 1.0), InternalError);
+}
+
+TEST(RequestTracker, OperationsOnUnknownIdsRejected) {
+  RequestTracker t;
+  EXPECT_THROW(t.add_function(9, 1), InternalError);
+  EXPECT_THROW(t.finish(9, 1.0), InternalError);
+  EXPECT_THROW((void)t.get(9), InternalError);
+}
+
+TEST(RequestTracker, DoubleFinishRejected) {
+  RequestTracker t;
+  t.begin(1, 0.0);
+  t.finish(1, 1.0);
+  EXPECT_THROW(t.finish(1, 2.0), InternalError);
+  EXPECT_THROW(t.add_function(1, 3), InternalError);
+}
+
+TEST(RequestTracker, GarbageCollectKeepsRecentAndInFlight) {
+  RequestTracker t;
+  t.begin(1, 0.0);
+  t.finish(1, 5.0);
+  t.begin(2, 10.0);  // in flight
+  t.begin(3, 100.0);
+  t.finish(3, 105.0);
+  const auto removed = t.garbage_collect(/*now=*/150.0, /*horizon_s=*/60.0);
+  EXPECT_EQ(removed, 1U);  // only request 1 is done and old
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_TRUE(t.contains(3));
+}
+
+TEST(RequestTracker, FootprintMatchesSection55Scale) {
+  // §5.5: "less than 0.19 MB" for 1000 concurrent requests, ~20.3 MB for
+  // 100000. Our dictionary must stay within the same order of magnitude.
+  RequestTracker t;
+  for (RequestId id = 1; id <= 1000; ++id) {
+    t.begin(id, 0.0);
+    t.add_function(id, static_cast<FunctionId>(id % 7));
+  }
+  const auto bytes_1k = t.bookkeeping_bytes();
+  EXPECT_LT(bytes_1k, 400U * 1024U);  // same order as 0.19 MB
+  for (RequestId id = 1001; id <= 100000; ++id) {
+    t.begin(id, 0.0);
+    t.add_function(id, static_cast<FunctionId>(id % 7));
+  }
+  const auto bytes_100k = t.bookkeeping_bytes();
+  EXPECT_LT(bytes_100k, 40U * 1024U * 1024U);
+  EXPECT_GT(bytes_100k, bytes_1k * 50);
+}
+
+}  // namespace
+}  // namespace flstore::core

@@ -1,0 +1,77 @@
+#include "fed/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace flstore::fed {
+namespace {
+
+ClientUpdate make_update(ClientId c, RoundId r, std::vector<float> v,
+                         std::int32_t samples) {
+  ClientUpdate u;
+  u.client = c;
+  u.round = r;
+  u.delta = Tensor(std::move(v));
+  u.num_samples = samples;
+  return u;
+}
+
+TEST(FedAvg, EqualWeightsIsMean) {
+  const std::vector<ClientUpdate> ups{
+      make_update(0, 1, {0, 0}, 100),
+      make_update(1, 1, {2, 4}, 100),
+  };
+  const auto agg = fedavg(ups);
+  EXPECT_NEAR(agg[0], 1.0, 1e-6);
+  EXPECT_NEAR(agg[1], 2.0, 1e-6);
+}
+
+TEST(FedAvg, WeightsBySampleCount) {
+  const std::vector<ClientUpdate> ups{
+      make_update(0, 1, {0, 0}, 300),
+      make_update(1, 1, {4, 4}, 100),
+  };
+  const auto agg = fedavg(ups);
+  EXPECT_NEAR(agg[0], 1.0, 1e-6);
+}
+
+TEST(FedAvg, MixedRoundsRejected) {
+  const std::vector<ClientUpdate> ups{
+      make_update(0, 1, {0, 0}, 100),
+      make_update(1, 2, {2, 4}, 100),
+  };
+  EXPECT_THROW((void)fedavg(ups), InternalError);
+}
+
+TEST(FedAvg, EmptyRejected) { EXPECT_THROW((void)fedavg({}), InternalError); }
+
+TEST(FedAvg, ExcludingClientsChangesResult) {
+  const std::vector<ClientUpdate> ups{
+      make_update(0, 1, {0, 0}, 100),
+      make_update(1, 1, {4, 4}, 100),
+      make_update(2, 1, {8, 8}, 100),
+  };
+  const auto all = fedavg(ups);
+  const auto without2 = fedavg_excluding(ups, {2});
+  EXPECT_NEAR(all[0], 4.0, 1e-6);
+  EXPECT_NEAR(without2[0], 2.0, 1e-6);
+}
+
+TEST(FedAvg, ExcludingEveryoneRejected) {
+  const std::vector<ClientUpdate> ups{make_update(0, 1, {1, 1}, 100)};
+  EXPECT_THROW((void)fedavg_excluding(ups, {0}), InternalError);
+}
+
+TEST(FedAvg, ZeroSampleClientsGetMinimumWeight) {
+  const std::vector<ClientUpdate> ups{
+      make_update(0, 1, {0, 0}, 0),
+      make_update(1, 1, {2, 2}, 0),
+  };
+  const auto agg = fedavg(ups);  // both clamped to weight 1
+  EXPECT_NEAR(agg[0], 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace flstore::fed

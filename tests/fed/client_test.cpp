@@ -1,0 +1,90 @@
+#include "fed/client.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace flstore::fed {
+namespace {
+
+Tensor direction(std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  auto d = ops::random_normal(dim, rng);
+  ops::scale(d, 1.0 / ops::l2_norm(d));
+  return d;
+}
+
+TEST(SimClient, ProfileDeterministicPerSeed) {
+  const SimClient a(5, 64, ClientBehavior::kHonest, 42);
+  const SimClient b(5, 64, ClientBehavior::kHonest, 42);
+  EXPECT_EQ(a.profile().signature, b.profile().signature);
+  EXPECT_DOUBLE_EQ(a.profile().compute_gflops, b.profile().compute_gflops);
+}
+
+TEST(SimClient, DifferentIdsDifferentSignatures) {
+  const SimClient a(1, 64, ClientBehavior::kHonest, 42);
+  const SimClient b(2, 64, ClientBehavior::kHonest, 42);
+  EXPECT_LT(ops::cosine_similarity(a.profile().signature,
+                                   b.profile().signature),
+            0.5);
+}
+
+TEST(SimClient, SignatureIsUnitNorm) {
+  const SimClient c(3, 128, ClientBehavior::kHonest, 7);
+  EXPECT_NEAR(ops::l2_norm(c.profile().signature), 1.0, 1e-5);
+}
+
+TEST(SimClient, HonestUpdateAlignsWithGlobalDirection) {
+  const SimClient c(10, 128, ClientBehavior::kHonest, 7);
+  const auto dir = direction(128, 3);
+  Rng rng(11);
+  const auto out = c.train_round(5, dir, 0.5, 100 * units::MB, 4.0, rng);
+  EXPECT_GT(ops::cosine_similarity(out.update.delta, dir), 0.3);
+  EXPECT_EQ(out.update.client, 10);
+  EXPECT_EQ(out.update.round, 5);
+  EXPECT_EQ(out.update.logical_bytes, 100 * units::MB);
+}
+
+TEST(SimClient, MaliciousUpdateOpposesGlobalDirection) {
+  const SimClient c(10, 128, ClientBehavior::kMalicious, 7);
+  const auto dir = direction(128, 3);
+  Rng rng(11);
+  const auto out = c.train_round(5, dir, 0.5, 100 * units::MB, 4.0, rng);
+  EXPECT_LT(ops::cosine_similarity(out.update.delta, dir), -0.3);
+}
+
+TEST(SimClient, StragglerIsSlower) {
+  const SimClient honest(20, 64, ClientBehavior::kHonest, 7);
+  const SimClient strag(20, 64, ClientBehavior::kStraggler, 7);
+  const auto dir = direction(64, 3);
+  Rng r1(1), r2(1);
+  const auto ho = honest.train_round(0, dir, 0.1, 50 * units::MB, 4.0, r1);
+  const auto so = strag.train_round(0, dir, 0.1, 50 * units::MB, 4.0, r2);
+  EXPECT_GT(so.metrics.train_time_s, ho.metrics.train_time_s * 2.0);
+  EXPECT_GT(so.metrics.upload_time_s, ho.metrics.upload_time_s);
+}
+
+TEST(SimClient, LossDecaysWithProgress) {
+  const SimClient c(1, 64, ClientBehavior::kHonest, 7);
+  const auto dir = direction(64, 3);
+  Rng r1(1), r2(1);
+  const auto early = c.train_round(0, dir, 0.05, units::MB, 1.0, r1);
+  const auto late = c.train_round(900, dir, 0.9, units::MB, 1.0, r2);
+  EXPECT_GT(early.metrics.local_loss, late.metrics.local_loss);
+  EXPECT_LT(early.metrics.accuracy, late.metrics.accuracy);
+}
+
+TEST(SimClient, MetricsEchoProfile) {
+  const SimClient c(8, 64, ClientBehavior::kHonest, 7);
+  const auto dir = direction(64, 3);
+  Rng rng(2);
+  const auto out = c.train_round(1, dir, 0.2, units::MB, 1.0, rng);
+  EXPECT_DOUBLE_EQ(out.metrics.compute_gflops, c.profile().compute_gflops);
+  EXPECT_DOUBLE_EQ(out.metrics.network_mbps, c.profile().network_mbps);
+  EXPECT_EQ(out.metrics.num_samples, c.profile().num_samples);
+  EXPECT_EQ(out.metrics.client, 8);
+  EXPECT_EQ(out.metrics.round, 1);
+}
+
+}  // namespace
+}  // namespace flstore::fed

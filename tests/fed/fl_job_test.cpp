@@ -1,0 +1,169 @@
+#include "fed/fl_job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "fed/aggregator.hpp"
+#include "tensor/ops.hpp"
+
+namespace flstore::fed {
+namespace {
+
+FLJobConfig small_config() {
+  FLJobConfig cfg;
+  cfg.model = "resnet18";
+  cfg.pool_size = 40;
+  cfg.clients_per_round = 8;
+  cfg.rounds = 30;
+  cfg.malicious_fraction = 0.1;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(FLJob, ParticipantsDeterministicAndValid) {
+  const FLJob job(small_config());
+  const auto p1 = job.participants(5);
+  const auto p2 = job.participants(5);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1.size(), 8U);
+  std::set<ClientId> uniq(p1.begin(), p1.end());
+  EXPECT_EQ(uniq.size(), 8U);
+  for (const auto c : p1) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 40);
+  }
+}
+
+TEST(FLJob, ParticipantsVaryAcrossRounds) {
+  const FLJob job(small_config());
+  int identical = 0;
+  for (RoundId r = 0; r + 1 < 20; ++r) {
+    if (job.participants(r) == job.participants(r + 1)) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(FLJob, OutOfRangeRoundsEmpty) {
+  const FLJob job(small_config());
+  EXPECT_TRUE(job.participants(-1).empty());
+  EXPECT_TRUE(job.participants(30).empty());
+  EXPECT_EQ(job.latest_round(), 29);
+}
+
+TEST(FLJob, MakeRoundConsistent) {
+  const FLJob job(small_config());
+  const auto rec = job.make_round(3);
+  EXPECT_EQ(rec.round, 3);
+  EXPECT_EQ(rec.updates.size(), 8U);
+  EXPECT_EQ(rec.metrics.size(), 8U);
+  EXPECT_EQ(rec.participants(), job.participants(3));
+  EXPECT_EQ(rec.model_bytes, job.model().object_bytes);
+  for (const auto& u : rec.updates) {
+    EXPECT_EQ(u.round, 3);
+    EXPECT_EQ(u.delta.dim(), job.model().materialized_dim());
+    EXPECT_EQ(u.logical_bytes, job.model().object_bytes);
+  }
+  // Aggregate equals FedAvg of the updates.
+  const auto agg = fedavg(rec.updates);
+  EXPECT_LT(ops::l2_distance(agg, rec.aggregate), 1e-6);
+}
+
+TEST(FLJob, MakeRoundDeterministic) {
+  const FLJob job(small_config());
+  const auto a = job.make_round(7);
+  const auto b = job.make_round(7);
+  EXPECT_EQ(a.updates, b.updates);
+}
+
+TEST(FLJob, MaliciousClientsPlantedAtExpectedRate) {
+  const FLJob job(small_config());
+  const auto mal = job.malicious_clients();
+  EXPECT_EQ(mal.size(), 4U);  // ceil(0.1 * 40)
+  for (const auto c : mal) EXPECT_TRUE(job.client(c).malicious());
+}
+
+TEST(FLJob, GlobalDirectionCorrelatesAcrossNearbyRounds) {
+  const FLJob job(small_config());
+  const auto d0 = job.global_direction(10);
+  const auto d1 = job.global_direction(11);
+  EXPECT_GT(ops::cosine_similarity(d0, d1), 0.8);
+}
+
+TEST(FLJob, HyperparametersStepDecay) {
+  FLJobConfig cfg = small_config();
+  cfg.rounds = 1000;
+  const FLJob job(cfg);
+  EXPECT_DOUBLE_EQ(job.hyperparameters(0).learning_rate, 0.05);
+  EXPECT_DOUBLE_EQ(job.hyperparameters(250).learning_rate, 0.025);
+  EXPECT_DOUBLE_EQ(job.hyperparameters(999).learning_rate, 0.05 * 0.125);
+}
+
+TEST(FLJob, DirectoryParticipationHelpers) {
+  const FLJob job(small_config());
+  const auto parts = job.participants(4);
+  const auto c = parts.front();
+  EXPECT_TRUE(job.participated(c, 4));
+
+  const auto window = job.participation_window(c, 29, 3);
+  EXPECT_LE(window.size(), 3U);
+  for (const auto r : window) EXPECT_TRUE(job.participated(c, r));
+  // Window is ascending.
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    EXPECT_LT(window[i - 1], window[i]);
+  }
+
+  const auto next = job.next_participation(c, 4);
+  if (next.has_value()) {
+    EXPECT_GT(*next, 4);
+    EXPECT_TRUE(job.participated(c, *next));
+    for (RoundId r = 5; r < *next; ++r) EXPECT_FALSE(job.participated(c, r));
+  }
+}
+
+TEST(FLJob, InvalidConfigRejected) {
+  FLJobConfig cfg = small_config();
+  cfg.clients_per_round = 100;  // > pool
+  EXPECT_THROW(FLJob{cfg}, InternalError);
+  cfg = small_config();
+  cfg.model = "unknown_model";
+  EXPECT_THROW(FLJob{cfg}, InvalidArgument);
+  cfg = small_config();
+  cfg.rounds = 0;
+  EXPECT_THROW(FLJob{cfg}, InternalError);
+}
+
+TEST(FLJob, MaliciousUpdatesAreCosineOutliers) {
+  // The planted structure must be recoverable: a robust score (median
+  // cosine to the other updates — what the malicious-filter workload uses)
+  // separates poisoners from honest clients even when several poisoners
+  // land in the same round and skew the FedAvg mean.
+  FLJobConfig cfg = small_config();
+  cfg.malicious_fraction = 0.1;
+  const FLJob job(cfg);
+  for (RoundId r : {2, 10, 25}) {
+    const auto rec = job.make_round(r);
+    const auto n = rec.updates.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> cosines;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        cosines.push_back(
+            ops::cosine_similarity(rec.updates[i].delta, rec.updates[j].delta));
+      }
+      std::sort(cosines.begin(), cosines.end());
+      const double median = cosines[cosines.size() / 2];
+      const auto client = rec.updates[i].client;
+      if (job.client(client).malicious()) {
+        EXPECT_LT(median, 0.0) << "round " << r << " client " << client;
+      } else {
+        EXPECT_GT(median, 0.2) << "round " << r << " client " << client;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flstore::fed

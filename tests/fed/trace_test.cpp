@@ -1,0 +1,161 @@
+#include "fed/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "fed/fl_job.hpp"
+
+namespace flstore::fed {
+namespace {
+
+FLJob make_job() {
+  FLJobConfig cfg;
+  cfg.model = "resnet18";
+  cfg.pool_size = 50;
+  cfg.clients_per_round = 10;
+  cfg.rounds = 200;
+  cfg.seed = 5;
+  return FLJob(cfg);
+}
+
+TraceConfig small_trace() {
+  TraceConfig cfg;
+  cfg.duration_s = 3600.0;
+  cfg.total_requests = 200;
+  cfg.round_interval_s = 18.0;  // 200 rounds fit the hour
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(Trace, GeneratesRequestedCountSorted) {
+  const auto job = make_job();
+  const auto trace = generate_trace(small_trace(), job);
+  EXPECT_GT(trace.size(), 150U);
+  EXPECT_LE(trace.size(), 200U);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].arrival_s, trace[i].arrival_s);
+  }
+}
+
+TEST(Trace, DeterministicGivenSeed) {
+  const auto job = make_job();
+  const auto a = generate_trace(small_trace(), job);
+  const auto b = generate_trace(small_trace(), job);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].round, b[i].round);
+    EXPECT_DOUBLE_EQ(a[i].arrival_s, b[i].arrival_s);
+  }
+}
+
+TEST(Trace, RequestIdsUnique) {
+  const auto job = make_job();
+  const auto trace = generate_trace(small_trace(), job);
+  std::set<RequestId> ids;
+  for (const auto& r : trace) ids.insert(r.id);
+  EXPECT_EQ(ids.size(), trace.size());
+}
+
+TEST(Trace, RoundsTrackTrainingProgress) {
+  const auto job = make_job();
+  const auto cfg = small_trace();
+  const auto trace = generate_trace(cfg, job);
+  for (const auto& req : trace) {
+    const auto newest = std::min<RoundId>(
+        job.latest_round(),
+        static_cast<RoundId>(req.arrival_s / cfg.round_interval_s));
+    EXPECT_GE(req.round, 0);
+    EXPECT_LE(req.round, newest);
+    if (policy_class_for(req.type) != PolicyClass::kP3) {
+      // Non-P3 requests target the newest round modulo a small lag.
+      EXPECT_GE(req.round, std::max<RoundId>(0, newest - 1));
+    }
+  }
+}
+
+TEST(Trace, P3RequestsCarryTrackedClientsAndAdvance) {
+  const auto job = make_job();
+  auto cfg = small_trace();
+  cfg.workloads = {WorkloadType::kReputation};
+  const auto trace = generate_trace(cfg, job);
+  ASSERT_FALSE(trace.empty());
+  std::map<ClientId, RoundId> last_round;
+  for (const auto& req : trace) {
+    EXPECT_NE(req.client, kNoClient);
+    const auto it = last_round.find(req.client);
+    if (it != last_round.end()) {
+      EXPECT_GE(req.round, it->second);
+    }
+    last_round[req.client] = req.round;
+  }
+}
+
+TEST(Trace, UsesAllWorkloadsInMix) {
+  const auto job = make_job();
+  auto cfg = small_trace();
+  cfg.total_requests = 500;
+  const auto trace = generate_trace(cfg, job);
+  std::set<WorkloadType> seen;
+  for (const auto& r : trace) seen.insert(r.type);
+  EXPECT_EQ(seen.size(), paper_workloads().size());
+}
+
+TEST(Table2Traces, P2OnePerRound) {
+  const auto trace = table2_p2_trace(WorkloadType::kMaliciousFilter, 100);
+  EXPECT_EQ(trace.size(), 100U);
+  for (RoundId r = 0; r < 100; ++r) {
+    EXPECT_EQ(trace[static_cast<std::size_t>(r)].round, r);
+    EXPECT_EQ(trace[static_cast<std::size_t>(r)].type,
+              WorkloadType::kMaliciousFilter);
+  }
+}
+
+TEST(Table2Traces, P2RejectsNonP2Workload) {
+  EXPECT_THROW((void)table2_p2_trace(WorkloadType::kInference, 10),
+               InternalError);
+}
+
+TEST(Table2Traces, P3FollowsParticipation) {
+  const auto job = make_job();
+  const auto client = job.participants(0).front();
+  const auto trace = table2_p3_trace(client, 16, job);
+  EXPECT_LE(trace.size(), 16U);
+  EXPECT_GT(trace.size(), 4U);  // client participates ~40 times in 200 rounds
+  RoundId prev = -1;
+  for (const auto& req : trace) {
+    EXPECT_EQ(req.client, client);
+    EXPECT_GT(req.round, prev);
+    EXPECT_TRUE(job.participated(client, req.round));
+    prev = req.round;
+  }
+}
+
+TEST(Table2Traces, P4OnePerRound) {
+  const auto trace = table2_p4_trace(50);
+  EXPECT_EQ(trace.size(), 50U);
+  EXPECT_EQ(trace[10].type, WorkloadType::kSchedulingPerf);
+}
+
+TEST(Taxonomy, Table1Mapping) {
+  EXPECT_EQ(policy_class_for(WorkloadType::kInference), PolicyClass::kP1);
+  EXPECT_EQ(policy_class_for(WorkloadType::kDebugging), PolicyClass::kP2);
+  EXPECT_EQ(policy_class_for(WorkloadType::kMaliciousFilter),
+            PolicyClass::kP2);
+  EXPECT_EQ(policy_class_for(WorkloadType::kReputation), PolicyClass::kP3);
+  EXPECT_EQ(policy_class_for(WorkloadType::kProvenance), PolicyClass::kP3);
+  EXPECT_EQ(policy_class_for(WorkloadType::kSchedulingPerf), PolicyClass::kP4);
+  EXPECT_EQ(policy_class_for(WorkloadType::kHyperparamTracking),
+            PolicyClass::kP4);
+}
+
+TEST(Taxonomy, PaperWorkloadSetsSized) {
+  EXPECT_EQ(paper_workloads().size(), 10U);
+  EXPECT_EQ(cacheagg_workloads().size(), 6U);
+}
+
+}  // namespace
+}  // namespace flstore::fed

@@ -1,0 +1,175 @@
+// Cross-system integration tests: FLStore and both baselines over the same
+// job/store/trace, verifying the paper's headline relations end to end.
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+
+namespace flstore::sim {
+namespace {
+
+struct EndToEnd : ::testing::Test {
+  static ScenarioConfig config() {
+    ScenarioConfig cfg;
+    cfg.model = "resnet18";
+    cfg.pool_size = 60;
+    cfg.clients_per_round = 8;
+    cfg.rounds = 60;
+    cfg.duration_s = 6000.0;
+    cfg.total_requests = 300;
+    cfg.round_interval_s = 100.0;
+    cfg.seed = 404;
+    return cfg;
+  }
+};
+
+TEST_F(EndToEnd, ThreeSystemsLatencyOrdering) {
+  Scenario sc(config());
+  const auto trace = sc.trace();
+  auto fl = adapt(sc.flstore());
+  auto obj = adapt(sc.objstore_agg());
+  auto cache = adapt(sc.cache_agg());
+  const auto d = config().duration_s;
+  const auto i = config().round_interval_s;
+  const auto fl_run = run_trace(*fl, sc.job(), trace, d, i);
+  const auto obj_run = run_trace(*obj, sc.job(), trace, d, i);
+  const auto cache_run = run_trace(*cache, sc.job(), trace, d, i);
+
+  // The paper's ordering: FLStore << Cache-Agg << ObjStore-Agg.
+  EXPECT_LT(fl_run.total_latency_s(), cache_run.total_latency_s() * 0.6);
+  EXPECT_LT(cache_run.total_latency_s(), obj_run.total_latency_s() * 0.6);
+}
+
+TEST_F(EndToEnd, HeadlineReductionsInPaperBands) {
+  Scenario sc(config());
+  const auto trace = sc.trace();
+  auto fl = adapt(sc.flstore());
+  auto obj = adapt(sc.objstore_agg());
+  const auto d = config().duration_s;
+  const auto i = config().round_interval_s;
+  const auto fl_run = run_trace(*fl, sc.job(), trace, d, i);
+  const auto obj_run = run_trace(*obj, sc.job(), trace, d, i);
+
+  // Latency: paper reports 50.75% average reduction (ours is higher since
+  // the simulated trace hits almost always); must be at least that.
+  const double lat_red = percent_reduction(obj_run.total_latency_s(),
+                                           fl_run.total_latency_s());
+  EXPECT_GT(lat_red, 50.0);
+  // Serving cost: paper reports 88.23% average reduction.
+  const double cost_red = percent_reduction(obj_run.total_serving_usd(),
+                                            fl_run.total_serving_usd());
+  EXPECT_GT(cost_red, 85.0);
+}
+
+TEST_F(EndToEnd, InfrastructureCostOrdering) {
+  Scenario sc(config());
+  // Cache-Agg provisions nodes on top of the VM; FLStore pays only pings
+  // and shared cold storage.
+  const double d = units::hours(50);
+  auto fl = adapt(sc.flstore());
+  auto obj = adapt(sc.objstore_agg());
+  auto cache = adapt(sc.cache_agg());
+  EXPECT_LT(fl->infrastructure_cost(d), 0.1);
+  EXPECT_GT(obj->infrastructure_cost(d), 40.0);  // ~$0.922/h VM
+  EXPECT_GT(cache->infrastructure_cost(d), obj->infrastructure_cost(d));
+}
+
+TEST_F(EndToEnd, IdenticalWorkloadResultsAcrossSystems) {
+  // The serving path must not change computed results: flagged clients are
+  // identical across FLStore and both baselines for the same request.
+  Scenario sc(config());
+  const RoundId round = 20;
+  for (RoundId r = 0; r <= round; ++r) {
+    const auto rec = sc.job().make_round(r);
+    sc.flstore().ingest_round(rec, 100.0 * r);
+    sc.objstore_agg().ingest_round(rec, 100.0 * r);
+    sc.cache_agg().ingest_round(rec, 100.0 * r);
+  }
+  fed::NonTrainingRequest req{900, fed::WorkloadType::kMaliciousFilter, round,
+                              kNoClient, 2100.0};
+  const auto a = sc.flstore().serve(req, 2100.0);
+  req.id = 901;
+  const auto b = sc.objstore_agg().serve(req, 2100.0);
+  req.id = 902;
+  const auto c = sc.cache_agg().serve(req, 2100.0);
+  EXPECT_EQ(a.output.selected, b.output.selected);
+  EXPECT_EQ(b.output.selected, c.output.selected);
+  EXPECT_EQ(a.output.summary, b.output.summary);
+}
+
+TEST_F(EndToEnd, FLStoreHitRateAboveTable2Band) {
+  Scenario sc(config());
+  auto fl = adapt(sc.flstore());
+  const auto run = run_trace(*fl, sc.job(), sc.trace(), config().duration_s,
+                             config().round_interval_s);
+  const double rate =
+      static_cast<double>(run.total_hits()) /
+      static_cast<double>(run.total_hits() + run.total_misses());
+  EXPECT_GT(rate, 0.95);
+}
+
+TEST_F(EndToEnd, TraditionalVariantsMissAndSlow) {
+  Scenario sc(config());
+  const auto trace = sc.trace();
+  auto fl_run = [&] {
+    auto fl = adapt(sc.flstore());
+    return run_trace(*fl, sc.job(), trace, config().duration_s,
+                     config().round_interval_s);
+  }();
+  auto lru_store = sc.make_flstore_variant(
+      core::PolicyMode::kLru, 20ULL * sc.job().model().object_bytes);
+  auto lru = adapt(*lru_store);
+  const auto lru_run = run_trace(*lru, sc.job(), trace, config().duration_s,
+                                 config().round_interval_s);
+  EXPECT_GT(lru_run.total_misses(), fl_run.total_misses() * 10);
+  EXPECT_GT(lru_run.total_latency_s(), fl_run.total_latency_s() * 3.0);
+}
+
+TEST_F(EndToEnd, FaultStormDegradesGracefullyWithReplicas) {
+  auto cfg = config();
+  Rng rng(9);
+  FaultInjectorConfig fic;
+  fic.mean_interarrival_s = 100.0;
+  fic.population = 12;
+  RunnerOptions opts;
+  opts.faults = generate_fault_schedule(fic, cfg.duration_s, rng);
+
+  auto latency_with_replicas = [&](int fi) {
+    auto c = cfg;
+    c.replicas = fi;
+    Scenario sc(c);
+    auto fl = adapt(sc.flstore());
+    return run_trace(*fl, sc.job(), sc.trace(), c.duration_s,
+                     c.round_interval_s, opts)
+        .total_latency_s();
+  };
+  const double fi1 = latency_with_replicas(1);
+  const double fi3 = latency_with_replicas(3);
+  EXPECT_LT(fi3, fi1);
+}
+
+TEST_F(EndToEnd, RequestsKeepWorkingAfterTrainingEnds) {
+  // §4.5: "demand for non-training tasks such as debugging and auditing
+  // could extend beyond the training phase".
+  Scenario sc(config());
+  for (RoundId r = 0; r < 60; ++r) {
+    sc.flstore().ingest_round(sc.job().make_round(r), 100.0 * r);
+  }
+  // Long after training: a debugging sweep over the final rounds.
+  double t = 100000.0;
+  RequestId id = 1;
+  std::size_t misses = 0;
+  for (RoundId r = 55; r < 60; ++r) {
+    fed::NonTrainingRequest req{id++, fed::WorkloadType::kDebugging, r,
+                                kNoClient, t};
+    const auto res = sc.flstore().serve(req, t);
+    t += 50.0;
+    misses += res.misses;
+    EXPECT_FALSE(res.output.summary.empty());
+  }
+  // Old rounds were evicted, so the sweep pays cold fetches — but it works.
+  EXPECT_GT(misses, 0U);
+}
+
+}  // namespace
+}  // namespace flstore::sim

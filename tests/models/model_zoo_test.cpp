@@ -1,0 +1,96 @@
+#include "models/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+TEST(ModelZoo, HasTwentyThreeModels) {
+  EXPECT_EQ(ModelZoo::instance().all().size(), 23U);
+}
+
+TEST(ModelZoo, AverageMatchesPaperFigure19) {
+  // Paper Appendix D: "the average size of these models is approximately
+  // 161 MB" (Figure 19 annotation: 160.88 MB).
+  const double avg = ModelZoo::instance().average_object_mib();
+  EXPECT_NEAR(avg, 160.88, 5.0);
+}
+
+TEST(ModelZoo, LookupKnownModels) {
+  const auto& zoo = ModelZoo::instance();
+  for (const auto& name : ModelZoo::evaluation_models()) {
+    EXPECT_TRUE(zoo.contains(name)) << name;
+    EXPECT_EQ(zoo.get(name).name, name);
+  }
+}
+
+TEST(ModelZoo, UnknownModelThrows) {
+  EXPECT_THROW((void)ModelZoo::instance().get("gpt4"), InvalidArgument);
+  EXPECT_FALSE(ModelZoo::instance().contains("gpt4"));
+}
+
+TEST(ModelZoo, EvaluationModelsMatchSection51) {
+  const auto models = ModelZoo::evaluation_models();
+  ASSERT_EQ(models.size(), 4U);
+  const std::set<std::string> expect{"resnet18", "mobilenet_v3_small",
+                                     "efficientnet_v2_s", "swin_v2_t"};
+  EXPECT_EQ(std::set<std::string>(models.begin(), models.end()), expect);
+}
+
+TEST(ModelZoo, SizesConsistent) {
+  for (const auto& s : ModelZoo::instance().all()) {
+    EXPECT_GT(s.parameters, 0U) << s.name;
+    EXPECT_EQ(s.weight_bytes, s.parameters * 4) << s.name;
+    EXPECT_EQ(s.object_bytes, s.weight_bytes) << s.name;
+    EXPECT_GT(s.gflops_forward, 0.0) << s.name;
+  }
+}
+
+TEST(ModelZoo, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& s : ModelZoo::instance().all()) names.insert(s.name);
+  EXPECT_EQ(names.size(), 23U);
+}
+
+TEST(ModelZoo, KnownSizeSpotChecks) {
+  const auto& zoo = ModelZoo::instance();
+  // ResNet18: 11.69M params -> ~44.6 MiB; VGG16 is the largest (~528 MiB).
+  EXPECT_NEAR(zoo.get("resnet18").object_mib(), 44.6, 1.0);
+  EXPECT_NEAR(zoo.get("vgg16").object_mib(), 527.8, 5.0);
+  EXPECT_NEAR(zoo.get("mobilenet_v3_small").object_mib(), 9.7, 0.5);
+}
+
+TEST(ModelZoo, MaterializedDimBoundedAndMonotoneInSize) {
+  const auto& zoo = ModelZoo::instance();
+  for (const auto& s : zoo.all()) {
+    const auto dim = s.materialized_dim();
+    EXPECT_GE(dim, 256U) << s.name;
+    EXPECT_LE(dim, 1024U) << s.name;
+  }
+  EXPECT_GE(zoo.get("vgg16").materialized_dim(),
+            zoo.get("mobilenet_v3_small").materialized_dim());
+}
+
+TEST(FunctionSizing, Section51Classes) {
+  const auto& zoo = ModelZoo::instance();
+  // "larger function allocations (2 CPU cores and 4 GB of memory) configured
+  // for SwinTransformer and EfficientNet models and 1 CPU core and 2 GB of
+  // memory for Resnet 18 and MobileNet models."
+  const auto swin = function_sizing_for(zoo.get("swin_v2_t"));
+  EXPECT_EQ(swin.vcpus, 2);
+  EXPECT_EQ(swin.memory, 4 * units::GB);
+  const auto eff = function_sizing_for(zoo.get("efficientnet_v2_s"));
+  EXPECT_EQ(eff.vcpus, 2);
+  const auto rn = function_sizing_for(zoo.get("resnet18"));
+  EXPECT_EQ(rn.vcpus, 1);
+  EXPECT_EQ(rn.memory, 2 * units::GB);
+  const auto mb = function_sizing_for(zoo.get("mobilenet_v3_small"));
+  EXPECT_EQ(mb.vcpus, 1);
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,83 @@
+#include "serverless/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+TEST(FaultInjector, EventsWithinHorizonAndSorted) {
+  Rng rng(1);
+  FaultInjectorConfig cfg;
+  cfg.mean_interarrival_s = 10.0;
+  cfg.population = 5;
+  const auto events = generate_fault_schedule(cfg, 1000.0, rng);
+  EXPECT_FALSE(events.empty());
+  double prev = 0.0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.time_s, prev);
+    EXPECT_LT(e.time_s, 1000.0);
+    EXPECT_GE(e.victim_rank, 0);
+    EXPECT_LT(e.victim_rank, 5);
+    prev = e.time_s;
+  }
+}
+
+TEST(FaultInjector, MeanRateApproximatelyRespected) {
+  Rng rng(2);
+  FaultInjectorConfig cfg;
+  cfg.mean_interarrival_s = 60.0;
+  cfg.population = 3;
+  const auto events = generate_fault_schedule(cfg, 60.0 * 1000.0, rng);
+  // Expect ~1000 events; allow 10%.
+  EXPECT_NEAR(static_cast<double>(events.size()), 1000.0, 100.0);
+}
+
+TEST(FaultInjector, ZipfSkewTowardLowRanks) {
+  Rng rng(3);
+  FaultInjectorConfig cfg;
+  cfg.mean_interarrival_s = 1.0;
+  cfg.population = 10;
+  cfg.zipf_exponent = 1.0;
+  const auto events = generate_fault_schedule(cfg, 20000.0, rng);
+  std::map<std::int32_t, int> counts;
+  for (const auto& e : events) ++counts[e.victim_rank];
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(FaultInjector, DeterministicGivenSeed) {
+  Rng a(7), b(7);
+  FaultInjectorConfig cfg;
+  cfg.mean_interarrival_s = 5.0;
+  cfg.population = 4;
+  const auto ea = generate_fault_schedule(cfg, 500.0, a);
+  const auto eb = generate_fault_schedule(cfg, 500.0, b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ea[i].time_s, eb[i].time_s);
+    EXPECT_EQ(ea[i].victim_rank, eb[i].victim_rank);
+  }
+}
+
+TEST(FaultInjector, ZeroHorizonEmpty) {
+  Rng rng(4);
+  EXPECT_TRUE(generate_fault_schedule({}, 0.0, rng).empty());
+}
+
+TEST(FaultInjector, InvalidConfigRejected) {
+  Rng rng(5);
+  FaultInjectorConfig bad_rate;
+  bad_rate.mean_interarrival_s = 0.0;
+  EXPECT_THROW((void)generate_fault_schedule(bad_rate, 10.0, rng),
+               InternalError);
+  FaultInjectorConfig bad_pop;
+  bad_pop.population = 0;
+  EXPECT_THROW((void)generate_fault_schedule(bad_pop, 10.0, rng),
+               InternalError);
+}
+
+}  // namespace
+}  // namespace flstore

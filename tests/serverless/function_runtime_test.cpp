@@ -1,0 +1,132 @@
+#include "serverless/function_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flstore {
+namespace {
+
+using units::GB;
+using units::MB;
+
+FunctionRuntime make_runtime() {
+  FunctionRuntime::Config cfg;
+  cfg.profile = ComputeProfile{1.0e9, 20.0e9};
+  cfg.invoke_overhead_s = 0.005;
+  cfg.cold_start_s = 1.0;
+  return FunctionRuntime(cfg, PricingCatalog::aws());
+}
+
+std::shared_ptr<const Blob> blob(std::size_t n) {
+  return std::make_shared<const Blob>(n, std::uint8_t{7});
+}
+
+TEST(FunctionRuntime, SpawnAssignsSequentialIds) {
+  auto rt = make_runtime();
+  EXPECT_EQ(rt.spawn(2 * GB), 0);
+  EXPECT_EQ(rt.spawn(4 * GB), 1);
+  EXPECT_EQ(rt.total_spawned(), 2U);
+  EXPECT_EQ(rt.warm_count(), 2U);
+  EXPECT_EQ(rt.instance(1).memory_limit(), 4 * GB);
+}
+
+TEST(FunctionRuntime, FirstInvocationPaysColdStart) {
+  auto rt = make_runtime();
+  const auto id = rt.spawn(2 * GB);
+  const ComputeWork work{1.0e9, 20.0e9};  // 1s scan + 1s flops
+  const auto first = rt.invoke(id, work);
+  EXPECT_NEAR(first.duration_s, 1.0 + 0.005 + 2.0, 1e-9);
+  const auto second = rt.invoke(id, work);
+  EXPECT_NEAR(second.duration_s, 0.005 + 2.0, 1e-9);
+}
+
+TEST(FunctionRuntime, InvocationBilledAsGbSeconds) {
+  auto rt = make_runtime();
+  const auto id = rt.spawn(2 * GB);
+  const auto res = rt.invoke(id, ComputeWork{0.0, 20.0e9});
+  const double expected =
+      PricingCatalog::aws().lambda_compute_cost(res.duration_s, 2 * GB);
+  EXPECT_NEAR(res.cost_usd, expected, 1e-12);
+  EXPECT_NEAR(rt.billed_usd(), expected, 1e-12);
+  EXPECT_EQ(rt.invocation_count(), 1U);
+}
+
+TEST(FunctionRuntime, ReclaimLosesDataAndWarmth) {
+  auto rt = make_runtime();
+  const auto id = rt.spawn(2 * GB);
+  rt.instance(id).put_object("x", blob(10), 100 * MB);
+  EXPECT_EQ(rt.cached_bytes(), 100 * MB);
+  rt.reclaim(id);
+  EXPECT_FALSE(rt.is_warm(id));
+  EXPECT_EQ(rt.warm_count(), 0U);
+  EXPECT_EQ(rt.cached_bytes(), 0U);
+  EXPECT_FALSE(rt.instance(id).has_object("x"));
+}
+
+TEST(FunctionRuntime, InvokeReclaimedThrows) {
+  auto rt = make_runtime();
+  const auto id = rt.spawn(2 * GB);
+  rt.reclaim(id);
+  EXPECT_THROW((void)rt.invoke(id, ComputeWork{}), InternalError);
+}
+
+TEST(FunctionRuntime, IsWarmHandlesUnknownIds) {
+  auto rt = make_runtime();
+  EXPECT_FALSE(rt.is_warm(-1));
+  EXPECT_FALSE(rt.is_warm(5));
+}
+
+TEST(FunctionRuntime, KeepAliveScalesWithWarmInstances) {
+  auto rt = make_runtime();
+  rt.spawn(2 * GB);
+  rt.spawn(2 * GB);
+  const double month = 30.0 * 86400.0;
+  EXPECT_NEAR(rt.keepalive_cost(month), 2 * 0.0087, 1e-9);
+  rt.reclaim(0);
+  EXPECT_NEAR(rt.keepalive_cost(month), 0.0087, 1e-9);
+}
+
+TEST(FunctionInstance, PutGetEvict) {
+  FunctionInstance fn(0, 1 * GB, ComputeProfile{1e9, 1e9});
+  fn.put_object("a", blob(4), 300 * MB);
+  fn.put_object("b", blob(4), 300 * MB);
+  EXPECT_EQ(fn.used(), 600 * MB);
+  EXPECT_TRUE(fn.has_object("a"));
+  EXPECT_NE(fn.get_object("a"), nullptr);
+  EXPECT_EQ(fn.object_size("a"), 300 * MB);
+  EXPECT_TRUE(fn.evict_object("a"));
+  EXPECT_FALSE(fn.evict_object("a"));
+  EXPECT_EQ(fn.used(), 300 * MB);
+  EXPECT_EQ(fn.get_object("a"), nullptr);
+}
+
+TEST(FunctionInstance, OverwriteAdjustsUsage) {
+  FunctionInstance fn(0, 1 * GB, ComputeProfile{1e9, 1e9});
+  fn.put_object("a", blob(4), 400 * MB);
+  fn.put_object("a", blob(4), 100 * MB);
+  EXPECT_EQ(fn.used(), 100 * MB);
+  EXPECT_EQ(fn.object_count(), 1U);
+}
+
+TEST(FunctionInstance, RejectsOverflow) {
+  FunctionInstance fn(0, 1 * GB, ComputeProfile{1e9, 1e9});
+  fn.put_object("a", blob(4), 900 * MB);
+  EXPECT_FALSE(fn.can_fit(200 * MB));
+  EXPECT_THROW(fn.put_object("b", blob(4), 200 * MB), InternalError);
+}
+
+TEST(FunctionInstance, CanFitRequiresWarm) {
+  FunctionInstance fn(0, 1 * GB, ComputeProfile{1e9, 1e9});
+  EXPECT_TRUE(fn.can_fit(1 * GB));
+  fn.reclaim();
+  EXPECT_FALSE(fn.can_fit(1 * MB));
+}
+
+TEST(FunctionInstance, BusyUntilBookkeeping) {
+  FunctionInstance fn(0, 1 * GB, ComputeProfile{1e9, 1e9});
+  EXPECT_DOUBLE_EQ(fn.busy_until(), 0.0);
+  fn.set_busy_until(12.5);
+  EXPECT_DOUBLE_EQ(fn.busy_until(), 12.5);
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,164 @@
+#include "sim/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/report.hpp"
+
+namespace flstore::sim {
+namespace {
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg;
+  cfg.model = "mobilenet_v3_small";
+  cfg.pool_size = 40;
+  cfg.clients_per_round = 6;
+  cfg.rounds = 40;
+  cfg.duration_s = 2000.0;
+  cfg.total_requests = 120;
+  cfg.round_interval_s = 50.0;
+  cfg.seed = 31;
+  return cfg;
+}
+
+TEST(Runner, TraceReplayProducesRecordsForAllRequests) {
+  Scenario sc(small_scenario());
+  const auto trace = sc.trace();
+  auto adapter = adapt(sc.flstore());
+  const auto run = run_trace(*adapter, sc.job(), trace, 2000.0, 50.0);
+  EXPECT_EQ(run.records.size(), trace.size());
+  EXPECT_EQ(run.system, "FLStore");
+  EXPECT_GT(run.infrastructure_usd, 0.0);
+}
+
+TEST(Runner, FLStoreDominatesObjStoreAggOnLatency) {
+  Scenario sc(small_scenario());
+  const auto trace = sc.trace();
+  auto fl = adapt(sc.flstore());
+  auto base = adapt(sc.objstore_agg());
+  const auto fl_run = run_trace(*fl, sc.job(), trace, 2000.0, 50.0);
+  const auto base_run = run_trace(*base, sc.job(), trace, 2000.0, 50.0);
+  // Headline: >50% average per-request latency reduction (paper: 71%).
+  EXPECT_LT(fl_run.total_latency_s(), base_run.total_latency_s() * 0.5);
+  // And the baseline is communication-bound (§2.3).
+  EXPECT_GT(base_run.total_comm_s(), base_run.total_comp_s() * 5.0);
+}
+
+TEST(Runner, FLStoreHitRateNearPerfect) {
+  Scenario sc(small_scenario());
+  const auto trace = sc.trace();
+  auto fl = adapt(sc.flstore());
+  const auto run = run_trace(*fl, sc.job(), trace, 2000.0, 50.0);
+  const auto hits = run.total_hits();
+  const auto misses = run.total_misses();
+  ASSERT_GT(hits + misses, 0U);
+  const double rate =
+      static_cast<double>(hits) / static_cast<double>(hits + misses);
+  EXPECT_GT(rate, 0.9);
+}
+
+TEST(Runner, DeterministicAcrossRuns) {
+  const auto once = [] {
+    Scenario sc(small_scenario());
+    auto fl = adapt(sc.flstore());
+    return run_trace(*fl, sc.job(), sc.trace(), 2000.0, 50.0);
+  };
+  const auto a = once();
+  const auto b = once();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].latency_s(), b.records[i].latency_s());
+    EXPECT_DOUBLE_EQ(a.records[i].cost_usd, b.records[i].cost_usd);
+  }
+}
+
+TEST(Runner, BoundedServersIntroduceQueueing) {
+  Scenario sc(small_scenario());
+  const auto trace = sc.trace();
+  auto base_open = adapt(sc.objstore_agg());
+  const auto open = run_trace(*base_open, sc.job(), trace, 2000.0, 50.0);
+
+  Scenario sc2(small_scenario());
+  auto base_q = adapt(sc2.objstore_agg());
+  RunnerOptions opts;
+  opts.servers = 1;
+  const auto queued = run_trace(*base_q, sc2.job(), trace, 2000.0, 50.0, opts);
+
+  double open_queue = 0.0, q_queue = 0.0;
+  for (const auto& r : open.records) open_queue += r.queue_s;
+  for (const auto& r : queued.records) q_queue += r.queue_s;
+  EXPECT_DOUBLE_EQ(open_queue, 0.0);
+  EXPECT_GT(q_queue, 0.0);
+}
+
+TEST(Runner, FaultsDegradeSingleReplicaFLStore) {
+  ScenarioConfig cfg = small_scenario();
+  Scenario healthy(cfg);
+  Scenario faulty(cfg);
+  const auto trace = healthy.trace();
+
+  auto fl_ok = adapt(healthy.flstore());
+  const auto ok = run_trace(*fl_ok, healthy.job(), trace, 2000.0, 50.0);
+
+  Rng rng(5);
+  FaultInjectorConfig fic;
+  fic.mean_interarrival_s = 40.0;
+  fic.population = 8;
+  RunnerOptions opts;
+  opts.faults = generate_fault_schedule(fic, 2000.0, rng);
+  auto fl_bad = adapt(faulty.flstore());
+  const auto bad = run_trace(*fl_bad, faulty.job(), trace, 2000.0, 50.0, opts);
+
+  EXPECT_GT(bad.total_latency_s(), ok.total_latency_s());
+}
+
+TEST(Runner, ReplicasAbsorbFaults) {
+  ScenarioConfig cfg = small_scenario();
+  cfg.replicas = 3;
+  Scenario sc(cfg);
+  const auto trace = sc.trace();
+  Rng rng(5);
+  FaultInjectorConfig fic;
+  fic.mean_interarrival_s = 40.0;
+  fic.population = 8;
+  RunnerOptions opts;
+  opts.faults = generate_fault_schedule(fic, 2000.0, rng);
+  auto fl = adapt(sc.flstore());
+  const auto run = run_trace(*fl, sc.job(), trace, 2000.0, 50.0, opts);
+  // With 3 replicas the hit rate stays high despite the fault storm.
+  const double rate =
+      static_cast<double>(run.total_hits()) /
+      static_cast<double>(run.total_hits() + run.total_misses());
+  EXPECT_GT(rate, 0.85);
+}
+
+TEST(Report, ByWorkloadCoversTraceMix) {
+  Scenario sc(small_scenario());
+  auto fl = adapt(sc.flstore());
+  const auto run = run_trace(*fl, sc.job(), sc.trace(), 2000.0, 50.0);
+  const auto grouped = by_workload(run);
+  EXPECT_GE(grouped.size(), 5U);
+  std::size_t total = 0;
+  for (const auto& [type, stats] : grouped) total += stats.latency.size();
+  EXPECT_EQ(total, run.records.size());
+}
+
+TEST(Report, QuartileCellFormat) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  const auto cell = quartile_cell(s, 1);
+  EXPECT_NE(cell.find("50.5"), std::string::npos);
+  EXPECT_NE(cell.find("["), std::string::npos);
+  EXPECT_EQ(quartile_cell(SampleSet{}), "-");
+}
+
+TEST(Scenario, VariantFactoryProducesConfiguredStores) {
+  Scenario sc(small_scenario());
+  auto lru = sc.make_flstore_variant(core::PolicyMode::kLru);
+  EXPECT_EQ(lru->config().policy.mode, core::PolicyMode::kLru);
+  auto limited =
+      sc.make_flstore_variant(core::PolicyMode::kTailored, 100 * units::MB);
+  EXPECT_EQ(limited->config().cache_capacity, 100 * units::MB);
+}
+
+}  // namespace
+}  // namespace flstore::sim

@@ -1,0 +1,79 @@
+#include "sim/training_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/calibration.hpp"
+
+namespace flstore::sim {
+namespace {
+
+fed::FLJob make_job(const std::string& model) {
+  fed::FLJobConfig cfg;
+  cfg.model = model;
+  cfg.pool_size = 60;
+  cfg.clients_per_round = 10;
+  cfg.rounds = 30;
+  cfg.seed = 91;
+  return fed::FLJob(cfg);
+}
+
+TEST(TrainingModel, LatencyBoundedByDeadlinePlusServerWork) {
+  const auto job = make_job("efficientnet_v2_s");
+  const auto p = training_profile(job, 5);
+  EXPECT_GT(p.latency_s, 0.0);
+  // Client phase is deadline-capped at 300 s; server phase is tens of
+  // seconds — per-round latency can never exceed ~400 s.
+  EXPECT_LT(p.latency_s, 450.0);
+}
+
+TEST(TrainingModel, CostScalesWithModelSize) {
+  const auto small = make_job("mobilenet_v3_small");
+  const auto big = make_job("swin_v2_t");
+  const auto ps = training_profile(small, 5);
+  const auto pb = training_profile(big, 5);
+  EXPECT_GT(pb.vm_cost_usd, ps.vm_cost_usd * 3.0);
+}
+
+TEST(TrainingModel, CostIsServerSideOnly) {
+  // Fig 2 calibration: per-round aggregator cost is cents, not dollars —
+  // client devices do not bill the job.
+  const auto job = make_job("efficientnet_v2_s");
+  const auto p = training_profile(job, 5);
+  EXPECT_GT(p.vm_cost_usd, 0.001);
+  EXPECT_LT(p.vm_cost_usd, 0.05);
+}
+
+TEST(TrainingModel, DeterministicPerRound) {
+  const auto job = make_job("resnet18");
+  const auto a = training_profile(job, 7);
+  const auto b = training_profile(job, 7);
+  EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  EXPECT_DOUBLE_EQ(a.vm_cost_usd, b.vm_cost_usd);
+}
+
+TEST(Calibration, CommunicationDominatesComputeByDesign) {
+  // §2.3's 31x gap: one EfficientNet round over the object-store link must
+  // take far longer than scanning it at VM speed.
+  const auto& model = ModelZoo::instance().get("efficientnet_v2_s");
+  const double comm =
+      objstore_link().batch_transfer_time(model.object_bytes, 10);
+  const double comp = vm_profile().execution_time(
+      ComputeWork{static_cast<double>(model.object_bytes) * 10.0, 0.0});
+  EXPECT_GT(comm / comp, 10.0);
+}
+
+TEST(Calibration, CacheLinkFasterThanStoreLink) {
+  const auto& model = ModelZoo::instance().get("efficientnet_v2_s");
+  EXPECT_LT(cloudcache_link().transfer_time(model.object_bytes),
+            objstore_link().transfer_time(model.object_bytes) / 3.0);
+}
+
+TEST(Calibration, TraceConstantsMatchSection52) {
+  EXPECT_DOUBLE_EQ(kTraceDurationS, 50.0 * 3600.0);
+  EXPECT_EQ(kTraceRequests, 3000U);
+  // 1000 rounds fit the 50-hour window at one round per 180 s.
+  EXPECT_DOUBLE_EQ(kTraceDurationS / kRoundIntervalS, 1000.0);
+}
+
+}  // namespace
+}  // namespace flstore::sim

@@ -1,0 +1,91 @@
+#include "simnet/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace flstore {
+namespace {
+
+using units::MB;
+
+TEST(Link, TransferTimeAlphaBeta) {
+  const Link l{0.08, 50.0 * 1e6};  // 80ms + 50 MB/s
+  EXPECT_NEAR(l.transfer_time(0), 0.08, 1e-12);
+  EXPECT_NEAR(l.transfer_time(100 * MB), 0.08 + 2.0, 1e-9);
+}
+
+TEST(Link, TransferTimeMonotoneInBytes) {
+  const Link l{0.01, 1e8};
+  double prev = -1.0;
+  for (units::Bytes b : {units::Bytes{0}, 1 * MB, 10 * MB, 100 * MB}) {
+    const double t = l.transfer_time(b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Link, BatchSequential) {
+  const Link l{0.1, 1e8};
+  // 10 objects of 10MB at 100MB/s: 10*0.1 alpha + 100MB/1e8 bulk = 2.0
+  EXPECT_NEAR(l.batch_transfer_time(10 * MB, 10, 1), 2.0, 1e-9);
+}
+
+TEST(Link, BatchParallelOverlapsAlphaOnly) {
+  const Link l{0.1, 1e8};
+  // Same 10 objects with 5-way parallelism: alpha waves = 2 -> 0.2 + 1.0
+  EXPECT_NEAR(l.batch_transfer_time(10 * MB, 10, 5), 1.2, 1e-9);
+  // Bulk term can never go below bytes/bandwidth.
+  EXPECT_GE(l.batch_transfer_time(10 * MB, 10, 100), 1.0);
+}
+
+TEST(Link, BatchZeroCount) {
+  const Link l{0.1, 1e8};
+  EXPECT_DOUBLE_EQ(l.batch_transfer_time(10 * MB, 0, 4), 0.0);
+}
+
+TEST(Link, ParallelismNeverSlower) {
+  const Link l{0.05, 2e8};
+  const double seq = l.batch_transfer_time(5 * MB, 20, 1);
+  const double par = l.batch_transfer_time(5 * MB, 20, 8);
+  EXPECT_LE(par, seq);
+}
+
+TEST(Topology, SymmetricLinkResolvesBothWays) {
+  Topology topo;
+  topo.set_link(Endpoint::kAggregatorVm, Endpoint::kObjectStore, {0.08, 1e8});
+  EXPECT_TRUE(topo.has_link(Endpoint::kAggregatorVm, Endpoint::kObjectStore));
+  EXPECT_TRUE(topo.has_link(Endpoint::kObjectStore, Endpoint::kAggregatorVm));
+  EXPECT_DOUBLE_EQ(
+      topo.link(Endpoint::kObjectStore, Endpoint::kAggregatorVm)
+          .first_byte_latency_s,
+      0.08);
+}
+
+TEST(Topology, AsymmetricOverride) {
+  Topology topo;
+  topo.set_link(Endpoint::kClient, Endpoint::kAggregatorVm, {0.1, 1e7});
+  topo.set_link(Endpoint::kAggregatorVm, Endpoint::kClient, {0.1, 5e7},
+                /*symmetric=*/false);
+  EXPECT_DOUBLE_EQ(
+      topo.link(Endpoint::kClient, Endpoint::kAggregatorVm).bandwidth_bytes_per_s,
+      1e7);
+  EXPECT_DOUBLE_EQ(
+      topo.link(Endpoint::kAggregatorVm, Endpoint::kClient).bandwidth_bytes_per_s,
+      5e7);
+}
+
+TEST(Topology, MissingLinkThrows) {
+  Topology topo;
+  EXPECT_THROW((void)topo.link(Endpoint::kClient, Endpoint::kFunction),
+               InvalidArgument);
+  EXPECT_FALSE(topo.has_link(Endpoint::kClient, Endpoint::kFunction));
+}
+
+TEST(EndpointNames, Distinct) {
+  EXPECT_STREQ(to_string(Endpoint::kClient), "client");
+  EXPECT_STREQ(to_string(Endpoint::kFunction), "function");
+}
+
+}  // namespace
+}  // namespace flstore
