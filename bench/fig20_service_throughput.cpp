@@ -1,0 +1,173 @@
+// Figure 20 (extension, not in the paper): the concurrent serving plane.
+//
+// The paper evaluates per-request latency and cost; this figure asks the
+// production question the ROADMAP's north star implies — what happens under
+// *offered load*. Two experiments on the §5.1 ResNet-18 job:
+//
+//  (a) Offered QPS × shard count: open-loop Poisson arrivals over the
+//      paper's ten-workload mix, class-affinity sharding, SLO-aware (EDF)
+//      scheduling. Reports sustained throughput, p50/p95/p99 end-to-end
+//      latency (queueing included) and cost per 1k requests. A single shard
+//      saturates and its tail explodes; four shards absorb the same load.
+//
+//  (b) Coalescing on/off at fixed load: hash routing spreads one tenant's
+//      traffic over 4 shards with overlapping working sets under a
+//      traditional LRU policy (every first touch misses), so concurrent
+//      shards keep missing on the same cold objects. Single-flight
+//      deduplication shares the in-flight fetch: fewer object-store GETs,
+//      fewer request fees, less blocked-function time.
+#include "bench_common.hpp"
+
+#include <memory>
+
+#include "serve/load_generator.hpp"
+#include "serve/sharded_store.hpp"
+
+using namespace flstore;
+
+namespace {
+
+fed::FLJobConfig bench_job() {
+  fed::FLJobConfig cfg;
+  cfg.model = "resnet18";
+  cfg.pool_size = 60;
+  cfg.clients_per_round = 8;
+  cfg.rounds = 200;
+  cfg.seed = 20;
+  return cfg;
+}
+
+constexpr double kRoundIntervalS = 30.0;
+constexpr double kDurationS = 900.0;
+
+serve::OpenLoopConfig load(double qps) {
+  serve::OpenLoopConfig cfg;
+  cfg.offered_qps = qps;
+  cfg.duration_s = kDurationS;
+  cfg.round_interval_s = kRoundIntervalS;
+  cfg.seed = 11;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figure 20 (extension)",
+                "Service throughput under offered load (src/serve/)");
+
+  fed::FLJob job(bench_job());
+  const std::vector<serve::TenantMix> mix = {
+      serve::TenantMix{0, &job, 1.0, {}, 5}};
+
+  // ---- (a) offered QPS x shard count --------------------------------------
+  bench::note(
+      "\n(a) Open-loop Poisson load, SLO (EDF) scheduler, per 15-minute run.\n"
+      "    Latency is end-to-end (queue + comm + comp). Hash routing\n"
+      "    load-balances; the class-affinity row shows the P2-skew ceiling\n"
+      "    (7 of 10 mixed workloads share one class queue).");
+  Table sweep({"offered qps", "shards", "routing", "throughput (qps)",
+               "p50 (s)", "p95 (s)", "p99 (s)", "mean queue (s)",
+               "$ / 1k req"});
+  double tput_1shard = 0.0, tput_4shard = 0.0;
+  double p95_1shard = 0.0, p95_4shard = 0.0;
+  serve::ServiceReport per_class;
+  for (const double qps : {0.25, 0.5, 1.0}) {
+    const auto trace = serve::open_loop_trace(load(qps), mix);
+    std::vector<std::pair<int, serve::Routing>> cells = {
+        {1, serve::Routing::kHash},
+        {2, serve::Routing::kHash},
+        {4, serve::Routing::kHash}};
+    if (qps == 1.0) cells.push_back({4, serve::Routing::kClassAffinity});
+    for (const auto& [shards, routing] : cells) {
+      ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
+      serve::ShardedStoreConfig cfg;
+      cfg.worker_threads = 2;
+      cfg.routing = routing;
+      serve::ShardedStore plane(cold, cfg);
+      (void)plane.add_tenant(job, {}, shards);
+      const auto report = plane.serve_open_loop(trace, kRoundIntervalS);
+      const auto lat = report.latencies();
+      sweep.add_row({fmt(qps, 2), std::to_string(shards),
+                     serve::to_string(routing),
+                     fmt(report.throughput_qps(), 3),
+                     fmt(lat.percentile(50.0), 2), fmt(lat.percentile(95.0), 2),
+                     fmt(lat.percentile(99.0), 2),
+                     fmt(report.queue_waits().mean(), 2),
+                     fmt_usd(report.cost_per_1k_usd())});
+      if (qps == 1.0 && routing == serve::Routing::kHash) {
+        if (shards == 1) {
+          tput_1shard = report.throughput_qps();
+          p95_1shard = lat.percentile(95.0);
+        } else if (shards == 4) {
+          tput_4shard = report.throughput_qps();
+          p95_4shard = lat.percentile(95.0);
+          per_class = report;  // per-class breakdown printed below
+        }
+      }
+    }
+  }
+  std::printf("%s", sweep.to_string().c_str());
+
+  // The SLO scheduler's point, visible per class: P1 inference keeps its
+  // sub-second latency even while the P2 analytics queue carries a backlog.
+  bench::note("\nPer-class latency at 1 qps offered, 4 hash shards:");
+  Table classes({"class", "completed", "p50 (s)", "p95 (s)"});
+  for (const auto c : {fed::PolicyClass::kP1, fed::PolicyClass::kP2,
+                       fed::PolicyClass::kP3, fed::PolicyClass::kP4}) {
+    const auto lat = per_class.latencies(c);
+    classes.add_row({fed::to_string(c), std::to_string(lat.size()),
+                     fmt(lat.percentile(50.0), 2),
+                     fmt(lat.percentile(95.0), 2)});
+  }
+  std::printf("%s", classes.to_string().c_str());
+
+  // ---- (b) coalescing on/off ----------------------------------------------
+  bench::note(
+      "\n(b) Same trace replayed (service at arrival) over 4 hash-routed LRU\n"
+      "    shards: overlapping working sets, every first touch misses, so\n"
+      "    concurrent shards keep missing on the same cold objects.");
+  Table co({"coalescing", "cold GETs", "joins", "store fees saved ($)",
+            "wait saved (s)", "total cost ($)", "p95 (s)"});
+  const auto co_trace = serve::open_loop_trace(load(0.5), mix);
+  double cost_with = 0.0, cost_without = 0.0;
+  std::uint64_t gets_with = 0, gets_without = 0;
+  for (const bool coalesce : {false, true}) {
+    ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
+    serve::ShardedStoreConfig cfg;
+    cfg.worker_threads = 2;
+    cfg.routing = serve::Routing::kHash;
+    cfg.coalesce_cold_fetches = coalesce;
+    serve::ShardedStore plane(cold, cfg);
+    core::FLStoreConfig store_cfg;
+    store_cfg.policy.mode = core::PolicyMode::kLru;
+    (void)plane.add_tenant(job, store_cfg, 4);
+    const auto report = plane.replay(co_trace, kRoundIntervalS);
+    const auto stats = report.coalescer;
+    co.add_row({coalesce ? "on" : "off", std::to_string(cold.get_count()),
+                std::to_string(stats.joins), fmt(stats.fees_saved_usd, 6),
+                fmt(stats.wait_saved_s, 1), fmt(report.total_cost_usd(), 2),
+                fmt(report.latencies().percentile(95.0), 2)});
+    (coalesce ? cost_with : cost_without) = report.total_cost_usd();
+    (coalesce ? gets_with : gets_without) = cold.get_count();
+  }
+  std::printf("%s", co.to_string().c_str());
+
+  std::printf("\nHeadlines:\n");
+  std::printf(
+      "  sustained throughput at 1 qps offered: %.2f qps on 1 shard -> "
+      "%.2f qps on 4 (%.2fx)\n",
+      tput_1shard, tput_4shard, tput_4shard / tput_1shard);
+  std::printf("  p95 latency 1 -> 4 shards at 1 qps offered: %.1f s -> %.1f s\n",
+              p95_1shard, p95_4shard);
+  std::printf("  coalescing cut cold-store GETs by %.1f%% and cost by %.1f%%\n",
+              100.0 * (1.0 - double(gets_with) / double(gets_without)),
+              100.0 * (1.0 - cost_with / cost_without));
+  bench::note(
+      "\nShape check: at 1 qps a single shard saturates — throughput falls\n"
+      "below the offered rate and p95 is pure queueing. Four hash-routed\n"
+      "shards restore throughput to the offered rate and collapse the tail;\n"
+      "class-affinity keeps per-class access patterns intact but caps out on\n"
+      "the P2-heavy mix. Coalescing removes the duplicate cold fetches that\n"
+      "hash-routed shards would otherwise each pay for.");
+  return 0;
+}

@@ -12,6 +12,7 @@ ObjectStore::PutResult ObjectStore::put(const std::string& name, Blob blob,
   PutResult res;
   res.latency_s = link_.transfer_time(logical);
   res.request_fee_usd = pricing_->s3_usd_per_put;
+  const std::scoped_lock lock(mu_);
   ++puts_;
 
   auto [it, inserted] = objects_.try_emplace(name);
@@ -27,6 +28,7 @@ ObjectStore::PutResult ObjectStore::put(const std::string& name, Blob blob,
 
 ObjectStore::GetResult ObjectStore::get(const std::string& name) {
   GetResult res;
+  const std::scoped_lock lock(mu_);
   ++gets_;
   res.request_fee_usd = pricing_->s3_usd_per_get;
   const auto it = objects_.find(name);
@@ -42,11 +44,13 @@ ObjectStore::GetResult ObjectStore::get(const std::string& name) {
   return res;
 }
 
-bool ObjectStore::contains(const std::string& name) const noexcept {
+bool ObjectStore::contains(const std::string& name) const {
+  const std::scoped_lock lock(mu_);
   return objects_.contains(name);
 }
 
 bool ObjectStore::remove(const std::string& name) {
+  const std::scoped_lock lock(mu_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) return false;
   FLSTORE_CHECK(stored_logical_ >= it->second.logical_bytes);
@@ -56,7 +60,7 @@ bool ObjectStore::remove(const std::string& name) {
 }
 
 double ObjectStore::storage_cost(double seconds) const {
-  return pricing_->s3_storage_cost(stored_logical_, seconds);
+  return pricing_->s3_storage_cost(stored_logical_bytes(), seconds);
 }
 
 }  // namespace flstore

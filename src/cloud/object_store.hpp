@@ -4,10 +4,17 @@
 // on) and a *logical* size (the true model-checkpoint size) — latency and
 // storage cost are computed from the logical size, so the simulation sees
 // 161 MB objects while tests hold KB-scale vectors. See DESIGN.md §1.
+//
+// The store is internally synchronized: it is the cold tier shared by every
+// tenant, and the serving plane (src/serve/) drives it from a worker-thread
+// pool. All operations are linearizable; the simulated latencies/fees are
+// unaffected (a real S3 endpoint serializes nothing, but our bookkeeping
+// hash map must not race).
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,18 +51,27 @@ class ObjectStore {
   GetResult get(const std::string& name);
 
   /// Existence check without a simulated round trip (control-plane lookup).
-  [[nodiscard]] bool contains(const std::string& name) const noexcept;
+  /// (No longer noexcept: these accessors lock, and mutex::lock may throw.)
+  [[nodiscard]] bool contains(const std::string& name) const;
 
   bool remove(const std::string& name);
 
-  [[nodiscard]] units::Bytes stored_logical_bytes() const noexcept {
+  [[nodiscard]] units::Bytes stored_logical_bytes() const {
+    const std::scoped_lock lock(mu_);
     return stored_logical_;
   }
-  [[nodiscard]] std::size_t object_count() const noexcept {
+  [[nodiscard]] std::size_t object_count() const {
+    const std::scoped_lock lock(mu_);
     return objects_.size();
   }
-  [[nodiscard]] std::uint64_t get_count() const noexcept { return gets_; }
-  [[nodiscard]] std::uint64_t put_count() const noexcept { return puts_; }
+  [[nodiscard]] std::uint64_t get_count() const {
+    const std::scoped_lock lock(mu_);
+    return gets_;
+  }
+  [[nodiscard]] std::uint64_t put_count() const {
+    const std::scoped_lock lock(mu_);
+    return puts_;
+  }
 
   /// Storage fee for keeping the current contents for `seconds`.
   [[nodiscard]] double storage_cost(double seconds) const;
@@ -69,6 +85,7 @@ class ObjectStore {
   };
   Link link_;
   const PricingCatalog* pricing_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, Object> objects_;
   units::Bytes stored_logical_ = 0;
   std::uint64_t gets_ = 0;

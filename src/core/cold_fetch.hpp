@@ -1,0 +1,40 @@
+// Cold-store read-through interception point.
+//
+// FLStore's miss path normally issues a synchronous ObjectStore::get and
+// pays the per-request fee. The serving plane (src/serve/) injects a
+// single-flight Coalescer here so concurrent shards that miss on the same
+// cold object share one fetch — one request fee, one transfer — instead of
+// paying N times (the classic thundering-herd fix, applied to the paper's
+// object-store fee model).
+//
+// The interceptor sees the *namespaced* object name (tenant prefix applied),
+// the shared store, and the simulated time of the access; implementations
+// must be safe to call from multiple shard threads.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cloud/object_store.hpp"
+#include "common/units.hpp"
+
+namespace flstore::core {
+
+class ColdFetchInterceptor {
+ public:
+  struct Fetched {
+    bool found = false;
+    std::shared_ptr<const Blob> blob;  ///< null when !found
+    units::Bytes logical_bytes = 0;
+    double latency_s = 0.0;         ///< time until the bytes are available
+    double request_fee_usd = 0.0;   ///< 0 for piggybacked (coalesced) reads
+  };
+
+  virtual ~ColdFetchInterceptor() = default;
+
+  /// Resolve `object_name` against `store` at simulated time `now`.
+  [[nodiscard]] virtual Fetched fetch(const std::string& object_name,
+                                      ObjectStore& store, double now) = 0;
+};
+
+}  // namespace flstore::core

@@ -94,12 +94,15 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
   keys.push_back(MetadataKey::metadata(record.round));
 
   // Async backup of everything to the persistent data plane (fees accrue,
-  // no serving latency).
+  // no serving latency). Secondary shards of a tenant skip it: the primary
+  // already streamed the round out, and double puts mean double fees.
   std::unordered_map<MetadataKey, EncodedObject, MetadataKeyHash> encoded;
   for (const auto& key : keys) {
     auto obj = encode_for_key(key, record);
-    const auto put = cold_->put(key.object_name(), obj.blob, obj.logical_bytes);
-    infra_meter_.charge(CostCategory::kStorageService, put.request_fee_usd);
+    if (config_.backup_to_cold) {
+      const auto put = cold_->put(cold_name(key), obj.blob, obj.logical_bytes);
+      infra_meter_.charge(CostCategory::kStorageService, put.request_fee_usd);
+    }
     encoded.emplace(key, std::move(obj));
   }
 
@@ -160,11 +163,20 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
 }
 
 FLStore::FetchOutcome FLStore::fetch_cold(const MetadataKey& key,
-                                          CostMeter& meter) {
-  auto got = cold_->get(key.object_name());
+                                          CostMeter& meter, double now) {
+  const auto name = cold_name(key);
+  if (cold_interceptor_ != nullptr) {
+    auto got = cold_interceptor_->fetch(name, *cold_, now);
+    meter.charge(CostCategory::kStorageService, got.request_fee_usd);
+    if (!got.found) {
+      throw NotFound("cold store lacks " + name);
+    }
+    return {std::move(got.blob), got.logical_bytes, got.latency_s};
+  }
+  auto got = cold_->get(name);
   meter.charge(CostCategory::kStorageService, got.request_fee_usd);
   if (!got.found) {
-    throw NotFound("cold store lacks " + key.object_name());
+    throw NotFound("cold store lacks " + name);
   }
   return {got.blob, got.logical_bytes, got.latency_s};
 }
@@ -220,7 +232,7 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
     }
     ++res.misses;
     ++refetches_;
-    auto fetched = fetch_cold(key, request_fees);
+    auto fetched = fetch_cold(key, request_fees, now + res.comm_s);
     res.comm_s += fetched.latency_s;
     workloads::absorb_blob(input, key, *fetched.blob);
     engine_->cache_object(key, fetched.blob, fetched.logical_bytes, now, now,
@@ -229,8 +241,8 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
       bulk_fetched = true;
       for (const auto& sibling : needs) {
         if (sibling == key || engine_->contains(sibling)) continue;
-        if (!cold_->contains(sibling.object_name())) continue;
-        auto s = fetch_cold(sibling, request_fees);
+        if (!cold_->contains(cold_name(sibling))) continue;
+        auto s = fetch_cold(sibling, request_fees, now + res.comm_s);
         res.comm_s += s.latency_s;
         engine_->cache_object(sibling, s.blob, s.logical_bytes, now, now, pin);
       }
@@ -288,8 +300,9 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
   }
 
   // Store the (small) result back asynchronously.
-  const auto put = cold_->put("results/" + std::to_string(req.id),
-                              Blob(1), res.output.result_bytes);
+  const auto put =
+      cold_->put(config_.cold_namespace + "results/" + std::to_string(req.id),
+                 Blob(1), res.output.result_bytes);
   request_fees.charge(CostCategory::kStorageService, put.request_fee_usd);
 
   // Post-serve: policy prefetch + evictions (asynchronous).
@@ -297,8 +310,11 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
     const auto plan = policy.plan_for_class(*policy_class, req, *job_);
     for (const auto& key : plan.prefetch) {
       if (engine_->contains(key)) continue;
-      if (!cold_->contains(key.object_name())) continue;
-      auto fetched = fetch_cold(key, infra_meter_);
+      if (!cold_->contains(cold_name(key))) continue;
+      // Prefetches issue after the request's own transfers; timestamping
+      // them at now + comm keeps interceptor (coalescing) windows monotone
+      // with the miss path above.
+      auto fetched = fetch_cold(key, infra_meter_, now + res.comm_s);
       engine_->cache_object(key, fetched.blob, fetched.logical_bytes, now,
                             now + fetched.latency_s, pin,
                             /*opportunistic=*/true);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,8 @@ class FLJob final : public RoundDirectory {
   FLJobConfig config_;
   const ModelSpec* model_;
   std::vector<SimClient> clients_;
+  /// Guards the memo below: one job may serve several concurrent tenants.
+  mutable std::mutex participants_mu_;
   mutable std::vector<std::vector<ClientId>> participants_cache_;
 };
 

@@ -31,6 +31,23 @@ enum class WorkloadType : std::uint8_t {
 /// Caching-policy classes of Table 1.
 enum class PolicyClass : std::uint8_t { kP1, kP2, kP3, kP4 };
 
+inline constexpr std::size_t kPolicyClassCount = 4;
+
+/// Dense index for per-class arrays (scheduler queues, SLO tables).
+[[nodiscard]] constexpr std::size_t class_index(PolicyClass c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+
+[[nodiscard]] constexpr const char* to_string(PolicyClass c) noexcept {
+  switch (c) {
+    case PolicyClass::kP1: return "P1";
+    case PolicyClass::kP2: return "P2";
+    case PolicyClass::kP3: return "P3";
+    case PolicyClass::kP4: return "P4";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr PolicyClass policy_class_for(WorkloadType w) noexcept {
   switch (w) {
     case WorkloadType::kInference: return PolicyClass::kP1;

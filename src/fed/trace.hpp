@@ -26,6 +26,32 @@ struct TraceConfig {
   std::uint64_t seed = 99;
 };
 
+/// Samples one mixed-workload request at a given virtual time — the request
+/// content logic of generate_trace factored out so the serving plane's load
+/// generators (open-loop QPS sweeps, closed-loop virtual users) can draw
+/// requests one at a time against their own clocks.
+///
+/// Stateful: P3-family draws walk the tracked clients round-robin, each
+/// advancing a per-client cursor through its participation sequence.
+class TraceSampler {
+ public:
+  /// `workloads` empty = paper_workloads(). `dir` must outlive the sampler.
+  TraceSampler(std::vector<WorkloadType> workloads, const RoundDirectory& dir,
+               std::size_t tracked_clients, double round_interval_s);
+
+  /// Draw request content for arrival time `now`. `id` is caller-assigned
+  /// (load generators number requests globally across tenants).
+  [[nodiscard]] NonTrainingRequest sample(RequestId id, double now, Rng& rng);
+
+ private:
+  std::vector<WorkloadType> workloads_;
+  const RoundDirectory* dir_;
+  double round_interval_s_;
+  std::vector<ClientId> tracked_;
+  std::vector<RoundId> cursor_;
+  std::size_t p3_rr_ = 0;
+};
+
 /// Mixed trace: uniformly mixed workloads, Poisson arrivals, rounds advance
 /// with virtual training time. P2-family requests target the newest
 /// available round (minus a per-workload lag); P3-family requests walk a

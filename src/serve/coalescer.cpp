@@ -1,0 +1,50 @@
+#include "serve/coalescer.hpp"
+
+namespace flstore::serve {
+
+core::ColdFetchInterceptor::Fetched Coalescer::fetch(
+    const std::string& object_name, ObjectStore& store, double now) {
+  const std::scoped_lock lock(mu_);
+
+  const auto it = inflight_.find(object_name);
+  if (it != inflight_.end() && now >= it->second.start_s &&
+      now < it->second.ready_s) {
+    // Join: the bytes are already streaming; wait out the remainder.
+    const auto& f = it->second;
+    ++stats_.joins;
+    stats_.fees_saved_usd += f.fee_usd;
+    stats_.wait_saved_s += f.latency_s - (f.ready_s - now);
+    return {true, f.blob, f.logical_bytes, f.ready_s - now,
+            /*request_fee_usd=*/0.0};
+  }
+
+  // Lead: issue the real fetch and open a window other shards can join.
+  auto got = store.get(object_name);
+  if (!got.found) {
+    // Misses pay the control-plane round trip but open no window (the
+    // object may appear any moment via ingest backup).
+    return {false, nullptr, 0, got.latency_s, got.request_fee_usd};
+  }
+  ++stats_.leads;
+  if (inflight_.size() >= config_.max_tracked) {
+    // Prune windows that ended before this fetch began; simulated clocks
+    // across shards stay close, so expired-for-us is expired-for-all in
+    // practice (a late joiner would lead a fresh fetch, which is correct,
+    // just not maximally shared).
+    for (auto p = inflight_.begin(); p != inflight_.end();) {
+      p = p->second.ready_s <= now ? inflight_.erase(p) : std::next(p);
+    }
+  }
+  inflight_[object_name] =
+      InFlight{now,      now + got.latency_s,     got.blob,
+               got.logical_bytes, got.request_fee_usd, got.latency_s};
+  return {true, got.blob, got.logical_bytes, got.latency_s,
+          got.request_fee_usd};
+}
+
+void Coalescer::reset() {
+  const std::scoped_lock lock(mu_);
+  inflight_.clear();
+}
+
+}  // namespace flstore::serve

@@ -1,0 +1,49 @@
+#include "serve/load_generator.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace flstore::serve {
+
+std::vector<ServiceRequest> open_loop_trace(const OpenLoopConfig& config,
+                                            const std::vector<TenantMix>& mix) {
+  FLSTORE_CHECK(config.offered_qps > 0.0);
+  FLSTORE_CHECK(config.duration_s > 0.0);
+  FLSTORE_CHECK(!mix.empty());
+
+  double total_weight = 0.0;
+  for (const auto& m : mix) {
+    FLSTORE_CHECK(m.job != nullptr);
+    FLSTORE_CHECK(m.weight > 0.0);
+    total_weight += m.weight;
+  }
+
+  Rng rng(config.seed);
+  std::vector<fed::TraceSampler> samplers;
+  samplers.reserve(mix.size());
+  for (const auto& m : mix) {
+    samplers.emplace_back(m.workloads, *m.job, m.tracked_clients,
+                          config.round_interval_s);
+  }
+
+  std::vector<ServiceRequest> out;
+  out.reserve(static_cast<std::size_t>(config.offered_qps *
+                                       config.duration_s * 1.1));
+  RequestId next_id = 1;
+  double t = rng.exponential(config.offered_qps);
+  while (t < config.duration_s) {
+    // Weighted tenant draw, then that tenant's content sampler.
+    double pick = rng.uniform(0.0, total_weight);
+    std::size_t idx = 0;
+    for (; idx + 1 < mix.size(); ++idx) {
+      if (pick < mix[idx].weight) break;
+      pick -= mix[idx].weight;
+    }
+    out.push_back(ServiceRequest{mix[idx].tenant,
+                                 samplers[idx].sample(next_id++, t, rng)});
+    t += rng.exponential(config.offered_qps);
+  }
+  return out;
+}
+
+}  // namespace flstore::serve

@@ -1,0 +1,61 @@
+// Arrival-process generation for the serving plane.
+//
+// Open loop: a Poisson process at a configured offered QPS, split across a
+// multi-tenant mix by weight — arrivals never wait for completions, which
+// is what exposes queueing collapse when offered load exceeds capacity.
+// Request *content* (workload type, target round, tracked client) comes
+// from fed::TraceSampler, so the serving plane stresses exactly the §5.2
+// request population the paper's figures use.
+//
+// Closed loop lives in ShardedStore::serve_closed_loop: each virtual user's
+// next arrival depends on its previous completion, so the arrivals can only
+// be materialized inside the discrete-event replay itself. The config type
+// is here because it is load-generation policy, not store mechanics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "fed/fl_job.hpp"
+#include "fed/request.hpp"
+#include "fed/trace.hpp"
+
+namespace flstore::serve {
+
+/// One tenant's slice of the offered load.
+struct TenantMix {
+  JobId tenant = 0;
+  const fed::FLJob* job = nullptr;           ///< must outlive the generator
+  double weight = 1.0;                       ///< share of total offered QPS
+  std::vector<fed::WorkloadType> workloads;  ///< empty = the paper's ten
+  std::size_t tracked_clients = 5;
+};
+
+/// A request addressed to a tenant (the serving plane's routing input).
+struct ServiceRequest {
+  JobId tenant = 0;
+  fed::NonTrainingRequest request;
+};
+
+struct OpenLoopConfig {
+  double offered_qps = 1.0;
+  double duration_s = 3600.0;
+  double round_interval_s = 180.0;  ///< training pace behind the requests
+  std::uint64_t seed = 99;
+};
+
+/// Poisson arrivals at `offered_qps` over the tenant mix, sorted by arrival
+/// time with globally unique ids. Deterministic in (config, mix).
+[[nodiscard]] std::vector<ServiceRequest> open_loop_trace(
+    const OpenLoopConfig& config, const std::vector<TenantMix>& mix);
+
+struct ClosedLoopConfig {
+  int users_per_tenant = 4;
+  double think_s = 1.0;             ///< pause between completion and re-issue
+  double duration_s = 3600.0;       ///< stop issuing after this
+  double round_interval_s = 180.0;
+  std::uint64_t seed = 99;
+};
+
+}  // namespace flstore::serve

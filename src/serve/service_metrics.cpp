@@ -1,0 +1,83 @@
+#include "serve/service_metrics.hpp"
+
+#include <algorithm>
+
+namespace flstore::serve {
+
+std::uint64_t ServiceReport::completed() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records) n += r.rejected ? 0 : 1;
+  return n;
+}
+
+std::uint64_t ServiceReport::rejected() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records) n += r.rejected ? 1 : 0;
+  return n;
+}
+
+double ServiceReport::makespan_s() const {
+  double first = 0.0, last = 0.0;
+  bool any = false;
+  for (const auto& r : records) {
+    if (r.rejected) continue;
+    if (!any) {
+      first = r.request.arrival_s;
+      last = r.completion_s();
+      any = true;
+      continue;
+    }
+    first = std::min(first, r.request.arrival_s);
+    last = std::max(last, r.completion_s());
+  }
+  return any ? last - first : 0.0;
+}
+
+double ServiceReport::throughput_qps() const {
+  const auto span = makespan_s();
+  return span > 0.0 ? static_cast<double>(completed()) / span : 0.0;
+}
+
+double ServiceReport::total_cost_usd() const {
+  double usd = 0.0;
+  for (const auto& r : records) usd += r.cost_usd;
+  return usd;
+}
+
+double ServiceReport::cost_per_1k_usd() const {
+  const auto n = completed();
+  return n > 0 ? total_cost_usd() * 1000.0 / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t ServiceReport::total_hits() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records) n += r.hits;
+  return n;
+}
+
+std::uint64_t ServiceReport::total_misses() const {
+  std::uint64_t n = 0;
+  for (const auto& r : records) n += r.misses;
+  return n;
+}
+
+SampleSet ServiceReport::latencies(
+    std::optional<fed::PolicyClass> filter) const {
+  SampleSet out;
+  for (const auto& r : records) {
+    if (r.rejected) continue;
+    if (filter.has_value() && r.policy_class() != *filter) continue;
+    out.add(r.latency_s());
+  }
+  return out;
+}
+
+SampleSet ServiceReport::queue_waits() const {
+  SampleSet out;
+  for (const auto& r : records) {
+    if (!r.rejected) out.add(r.queue_s);
+  }
+  return out;
+}
+
+}  // namespace flstore::serve

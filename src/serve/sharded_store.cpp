@@ -1,0 +1,402 @@
+#include "serve/sharded_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fed/trace.hpp"
+
+namespace flstore::serve {
+
+namespace {
+
+// One tenant's discrete-event timeline entry. Ordering is (time, type, seq):
+// a training round lands before requests arriving at the same instant, and
+// arrivals are admitted before a same-instant completion dispatches — so the
+// scheduler always chooses over the full set of requests present at `time`.
+enum class EvType : int { kIngest = 0, kArrival = 1, kCompletion = 2 };
+
+struct Event {
+  double time = 0.0;
+  EvType type = EvType::kIngest;
+  std::uint64_t seq = 0;
+  RoundId round = kNoRound;     ///< kIngest
+  ServiceRequest req;           ///< kArrival
+  std::size_t local_shard = 0;  ///< kCompletion
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.type != b.type) return a.type > b.type;
+    return a.seq > b.seq;
+  }
+};
+
+using EventQueue = std::priority_queue<Event, std::vector<Event>, EventAfter>;
+
+}  // namespace
+
+ShardedStore::ShardedStore(ObjectStore& cold_store, ShardedStoreConfig config)
+    : config_(config), cold_(&cold_store) {}
+
+JobId ShardedStore::add_tenant(const fed::FLJob& job,
+                               core::FLStoreConfig store_config,
+                               int cache_shards) {
+  FLSTORE_CHECK(cache_shards >= 1);
+  const auto id = static_cast<JobId>(tenants_.size());
+  if (store_config.cold_namespace.empty()) {
+    // Built into a fresh string: assigning literals into the existing one
+    // trips GCC 12's -Wrestrict false positive (PR 105329) at -O3.
+    std::string ns;
+    ns.push_back('t');
+    ns += std::to_string(id);
+    ns.push_back('/');
+    store_config.cold_namespace = std::move(ns);
+  }
+  Tenant tenant;
+  tenant.id = id;
+  tenant.job = &job;
+  coalescers_.push_back(std::make_unique<Coalescer>());
+  for (int i = 0; i < cache_shards; ++i) {
+    auto cfg = store_config;
+    cfg.backup_to_cold = store_config.backup_to_cold && i == 0;
+    auto shard = std::make_unique<Shard>();
+    shard->tenant = id;
+    shard->store = std::make_unique<core::FLStore>(cfg, job, *cold_);
+    if (config_.coalesce_cold_fetches) {
+      shard->store->set_cold_fetch_interceptor(coalescers_.back().get());
+    }
+    tenant.shards.push_back(static_cast<int>(shards_.size()));
+    shards_.push_back(std::move(shard));
+  }
+  tenants_.push_back(std::move(tenant));
+  return id;
+}
+
+const ShardedStore::Tenant& ShardedStore::tenant(JobId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= tenants_.size()) {
+    throw InvalidArgument("unknown tenant " + std::to_string(id));
+  }
+  return tenants_[static_cast<std::size_t>(id)];
+}
+
+namespace {
+
+std::size_t route_local(Routing routing, std::size_t n_shards,
+                        const fed::NonTrainingRequest& req) {
+  if (n_shards <= 1) return 0;
+  switch (routing) {
+    case Routing::kTenant: return 0;
+    case Routing::kClassAffinity:
+      return fed::class_index(fed::policy_class_for(req.type)) % n_shards;
+    case Routing::kHash:
+      return static_cast<std::size_t>(req.id) % n_shards;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int ShardedStore::shard_for(const ServiceRequest& req) const {
+  const auto& t = tenant(req.tenant);
+  return t.shards[route_local(config_.routing, t.shards.size(), req.request)];
+}
+
+void ShardedStore::ingest_round(JobId tenant_id, const fed::RoundRecord& record,
+                                double now) {
+  for (const auto global : tenant(tenant_id).shards) {
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    const std::scoped_lock lock(shard.mu);
+    shard.store->ingest_round(record, now);
+  }
+}
+
+core::ServeResult ShardedStore::serve(const ServiceRequest& req, double now) {
+  auto& shard = *shards_[static_cast<std::size_t>(shard_for(req))];
+  const std::scoped_lock lock(shard.mu);
+  return shard.store->serve(req.request, now);
+}
+
+void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
+                              const std::vector<ServiceRequest>& arrivals,
+                              double horizon_s, double round_interval_s,
+                              const ClosedLoopConfig* closed,
+                              const TenantMix* mix,
+                              std::vector<ServiceRecord>& out) {
+  FLSTORE_CHECK(round_interval_s > 0.0);
+  const auto n_local = tenant.shards.size();
+
+  EventQueue events;
+  std::uint64_t seq = 0;
+
+  // Training rounds complete on their own clock, independent of serving.
+  const auto max_round = std::min<RoundId>(
+      tenant.job->latest_round(),
+      static_cast<RoundId>(std::floor(horizon_s / round_interval_s)));
+  for (RoundId r = 0; r <= max_round; ++r) {
+    Event ev;
+    ev.time = static_cast<double>(r) * round_interval_s;
+    ev.type = EvType::kIngest;
+    ev.seq = seq++;
+    ev.round = r;
+    events.push(std::move(ev));
+  }
+  for (const auto& a : arrivals) {
+    Event ev;
+    ev.time = a.request.arrival_s;
+    ev.type = EvType::kArrival;
+    ev.seq = seq++;
+    ev.req = a;
+    events.push(std::move(ev));
+  }
+
+  // Closed loop: virtual users draw their own requests; the first wave is
+  // staggered across one think interval so users do not phase-lock.
+  std::optional<fed::TraceSampler> sampler;
+  std::optional<Rng> rng;
+  RequestId next_id = (static_cast<RequestId>(tenant.id) + 1) << 40;
+  // One virtual user's next request, issued at time `t` (dropped once the
+  // configured duration is over — that user retires).
+  const auto schedule_user_arrival = [&](double t) {
+    if (t >= closed->duration_s) return;
+    Event ev;
+    ev.time = t;
+    ev.type = EvType::kArrival;
+    ev.seq = seq++;
+    ev.req = ServiceRequest{tenant.id, sampler->sample(next_id++, t, *rng)};
+    events.push(std::move(ev));
+  };
+  if (closed != nullptr) {
+    FLSTORE_CHECK(mix != nullptr);
+    FLSTORE_CHECK(closed->users_per_tenant > 0);
+    sampler.emplace(mix->workloads, *tenant.job, mix->tracked_clients,
+                    round_interval_s);
+    rng.emplace(closed->seed ^
+                (static_cast<std::uint64_t>(tenant.id) * 0x9E3779B97F4A7C15ULL));
+    for (int u = 0; u < closed->users_per_tenant; ++u) {
+      schedule_user_arrival(closed->think_s * static_cast<double>(u) /
+                            static_cast<double>(closed->users_per_tenant));
+    }
+  }
+
+  std::vector<RequestScheduler> scheds;
+  std::vector<double> busy(n_local, 0.0);
+  if (mode == Mode::kQueued) {
+    scheds.assign(n_local, RequestScheduler(config_.scheduler));
+  }
+
+  const auto serve_on = [&](std::size_t local,
+                            const fed::NonTrainingRequest& req, double start) {
+    auto& shard = *shards_[static_cast<std::size_t>(tenant.shards[local])];
+    core::ServeResult res;
+    {
+      const std::scoped_lock lock(shard.mu);
+      res = shard.store->serve(req, start);
+    }
+    ServiceRecord rec;
+    rec.tenant = tenant.id;
+    rec.shard = tenant.shards[local];
+    rec.request = req;
+    rec.start_s = start;
+    rec.queue_s = start - req.arrival_s;
+    rec.comm_s = res.comm_s;
+    rec.comp_s = res.comp_s;
+    rec.cost_usd = res.cost_usd;
+    rec.hits = res.hits;
+    rec.misses = res.misses;
+    out.push_back(rec);
+    return res;
+  };
+
+  // Single-server dispatch: runs whenever the shard might be idle.
+  const auto dispatch = [&](std::size_t local, double when) {
+    if (mode != Mode::kQueued) return;
+    if (busy[local] > when || scheds[local].empty()) return;
+    const auto req = scheds[local].pop(when);
+    const auto res = serve_on(local, req, when);
+    busy[local] = when + res.comm_s + res.comp_s;
+    Event done;
+    done.time = busy[local];
+    done.type = EvType::kCompletion;
+    done.seq = seq++;
+    done.local_shard = local;
+    events.push(std::move(done));
+    if (closed != nullptr) {
+      // This virtual user thinks, then issues its next request.
+      schedule_user_arrival(busy[local] + closed->think_s);
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    switch (ev.type) {
+      case EvType::kIngest:
+        ingest_round(tenant.id, tenant.job->make_round(ev.round), ev.time);
+        break;
+      case EvType::kArrival: {
+        const auto local =
+            route_local(config_.routing, n_local, ev.req.request);
+        if (mode == Mode::kReplay) {
+          (void)serve_on(local, ev.req.request, ev.time);
+          break;
+        }
+        if (!scheds[local].admit(ev.req.request, ev.time)) {
+          ServiceRecord rec;
+          rec.tenant = tenant.id;
+          rec.shard = tenant.shards[local];
+          rec.request = ev.req.request;
+          rec.rejected = true;
+          rec.start_s = ev.time;
+          out.push_back(rec);
+          if (closed != nullptr) {
+            // The virtual user was shed, not absorbed: it backs off one
+            // think interval and re-issues, so the closed-loop population
+            // stays at users_per_tenant. The floor keeps think_s = 0 from
+            // retrying at the same instant against the same full queue.
+            schedule_user_arrival(ev.time + std::max(closed->think_s, 1e-3));
+          }
+          break;
+        }
+        dispatch(local, ev.time);
+        break;
+      }
+      case EvType::kCompletion:
+        dispatch(ev.local_shard, ev.time);
+        break;
+    }
+  }
+}
+
+ServiceReport ShardedStore::run_all_tenants(
+    Mode mode, const std::vector<ServiceRequest>& trace, double horizon_s,
+    double round_interval_s, const ClosedLoopConfig* closed,
+    const std::vector<TenantMix>* mix) {
+  std::vector<std::vector<ServiceRequest>> per_tenant(tenants_.size());
+  for (const auto& r : trace) {
+    (void)tenant(r.tenant);  // validates
+    per_tenant[static_cast<std::size_t>(r.tenant)].push_back(r);
+  }
+
+  // Closed loop: resolve every tenant's mix up front so a bad argument
+  // fails fast with a name, not mid-run via an internal check.
+  std::vector<const TenantMix*> mix_of(tenants_.size(), nullptr);
+  if (closed != nullptr) {
+    FLSTORE_CHECK(mix != nullptr);
+    for (const auto& m : *mix) {
+      (void)tenant(m.tenant);  // validates
+      auto& slot = mix_of[static_cast<std::size_t>(m.tenant)];
+      if (slot != nullptr) {
+        throw InvalidArgument("duplicate mix entry for tenant " +
+                              std::to_string(m.tenant));
+      }
+      slot = &m;
+    }
+    for (const auto& t : tenants_) {
+      if (mix_of[static_cast<std::size_t>(t.id)] == nullptr) {
+        throw InvalidArgument("closed-loop mix is missing tenant " +
+                              std::to_string(t.id));
+      }
+    }
+  }
+
+  // Windows from a previous run would be "in flight" at this run's early
+  // virtual times; stats are snapshotted so the report covers this run only.
+  for (auto& co : coalescers_) co->reset();
+  const auto coalescer_before = coalescer_stats();
+
+  std::vector<std::vector<ServiceRecord>> results(tenants_.size());
+  std::vector<std::exception_ptr> errors(tenants_.size());
+  ThreadPool pool(config_.worker_threads);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(tenants_.size());
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    tasks.push_back([this, i, mode, &per_tenant, horizon_s, round_interval_s,
+                     closed, &mix_of, &results, &errors] {
+      try {
+        run_tenant(tenants_[i], mode, per_tenant[i], horizon_s,
+                   round_interval_s, closed, mix_of[i], results[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  pool.run_all(std::move(tasks));
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  ServiceReport report;
+  for (auto& r : results) {
+    report.records.insert(report.records.end(), r.begin(), r.end());
+  }
+  // Canonical order, independent of tenant task interleaving.
+  std::sort(report.records.begin(), report.records.end(),
+            [](const ServiceRecord& a, const ServiceRecord& b) {
+              if (a.request.arrival_s != b.request.arrival_s) {
+                return a.request.arrival_s < b.request.arrival_s;
+              }
+              if (a.tenant != b.tenant) return a.tenant < b.tenant;
+              return a.request.id < b.request.id;
+            });
+  const auto coalescer_after = coalescer_stats();
+  report.coalescer =
+      Coalescer::Stats{coalescer_after.leads - coalescer_before.leads,
+                       coalescer_after.joins - coalescer_before.joins,
+                       coalescer_after.fees_saved_usd -
+                           coalescer_before.fees_saved_usd,
+                       coalescer_after.wait_saved_s -
+                           coalescer_before.wait_saved_s};
+  return report;
+}
+
+ServiceReport ShardedStore::replay(const std::vector<ServiceRequest>& trace,
+                                   double round_interval_s) {
+  double horizon = 0.0;
+  for (const auto& r : trace) horizon = std::max(horizon, r.request.arrival_s);
+  return run_all_tenants(Mode::kReplay, trace, horizon, round_interval_s,
+                         nullptr, nullptr);
+}
+
+ServiceReport ShardedStore::serve_open_loop(
+    const std::vector<ServiceRequest>& trace, double round_interval_s) {
+  double horizon = 0.0;
+  for (const auto& r : trace) horizon = std::max(horizon, r.request.arrival_s);
+  return run_all_tenants(Mode::kQueued, trace, horizon, round_interval_s,
+                         nullptr, nullptr);
+}
+
+ServiceReport ShardedStore::serve_closed_loop(
+    const ClosedLoopConfig& config, const std::vector<TenantMix>& mix) {
+  return run_all_tenants(Mode::kQueued, {}, config.duration_s,
+                         config.round_interval_s, &config, &mix);
+}
+
+Coalescer::Stats ShardedStore::coalescer_stats() const {
+  Coalescer::Stats total;
+  for (const auto& co : coalescers_) {
+    const auto s = co->stats();
+    total.leads += s.leads;
+    total.joins += s.joins;
+    total.fees_saved_usd += s.fees_saved_usd;
+    total.wait_saved_s += s.wait_saved_s;
+  }
+  return total;
+}
+
+double ShardedStore::infrastructure_cost(double seconds) const {
+  double usd = 0.0;
+  for (const auto& shard : shards_) {
+    usd += shard->store->infrastructure_cost(seconds);
+  }
+  return usd;
+}
+
+}  // namespace flstore::serve

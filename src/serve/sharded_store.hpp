@@ -1,0 +1,158 @@
+// ShardedStore — the concurrent serving plane in front of core::FLStore.
+//
+// Owns N FLStore cache shards grouped by tenant over one shared persistent
+// store, a worker-thread pool, per-shard request schedulers, and a
+// single-flight Coalescer on the cold miss path. It turns the per-request
+// simulator into a throughput-oriented system: offered load, queueing,
+// admission control, tail latency.
+//
+// Concurrency model (and why results are deterministic):
+//  * Each tenant's shards + scheduler form one discrete-event task driven
+//    purely by simulated time (arrivals, ingests, completions). Tasks run
+//    in parallel on the pool — tenants share nothing mutable except the
+//    internally-synchronized ObjectStore. Each tenant gets its own
+//    Coalescer (cold-store keys are tenant-namespaced, so there is nothing
+//    to share, and a shared one would let tenant A's pruning clock evict
+//    tenant B's still-in-flight windows).
+//  * Within a tenant the task is sequential, so scheduler decisions and
+//    coalescing windows depend only on virtual time. Per-request results
+//    are bit-identical for any worker_threads value (regression-tested).
+//  * FLStore itself stays single-threaded per shard; each shard is guarded
+//    by its own mutex for the direct serve()/ingest_round() entry points.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cloud/object_store.hpp"
+#include "core/flstore.hpp"
+#include "serve/coalescer.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service_metrics.hpp"
+#include "serve/thread_pool.hpp"
+
+namespace flstore::serve {
+
+/// How a tenant's traffic spreads over its cache shards.
+enum class Routing : std::uint8_t {
+  kTenant,         ///< everything on the tenant's first shard (baseline)
+  kClassAffinity,  ///< by P1–P4 class: preserves each policy's access
+                   ///< pattern (prefetch chains stay on one shard)
+  kHash,           ///< by request id: stateless load balancing; shards see
+                   ///< overlapping working sets (the coalescer's case)
+};
+
+[[nodiscard]] constexpr const char* to_string(Routing r) noexcept {
+  switch (r) {
+    case Routing::kTenant: return "tenant";
+    case Routing::kClassAffinity: return "class-affinity";
+    case Routing::kHash: return "hash";
+  }
+  return "?";
+}
+
+struct ShardedStoreConfig {
+  int worker_threads = 4;  ///< 0 = run tenant tasks inline
+  Routing routing = Routing::kClassAffinity;
+  /// Route cold miss fetches through the shared single-flight Coalescer.
+  bool coalesce_cold_fetches = true;
+  /// Per-shard scheduler (queued modes only; replay() bypasses queueing).
+  SchedulerConfig scheduler;
+};
+
+class ShardedStore {
+ public:
+  /// `cold_store` is the shared persistent tier; must outlive the plane.
+  explicit ShardedStore(ObjectStore& cold_store,
+                        ShardedStoreConfig config = {});
+
+  /// Register a tenant backed by `cache_shards` FLStore instances. The
+  /// tenant's cold objects live under "t<id>/" unless the config names a
+  /// namespace; only the first shard backs ingested rounds up to the cold
+  /// store (the others would duplicate the puts and the fees).
+  JobId add_tenant(const fed::FLJob& job,
+                   core::FLStoreConfig store_config = {},
+                   int cache_shards = 1);
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards_.size());
+  }
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.size();
+  }
+  [[nodiscard]] const core::FLStore& shard(int index) const {
+    return *shards_[static_cast<std::size_t>(index)]->store;
+  }
+  /// Global shard index `req` routes to under the configured policy.
+  [[nodiscard]] int shard_for(const ServiceRequest& req) const;
+
+  /// Ingest a finished round into every shard of `tenant`.
+  void ingest_round(JobId tenant, const fed::RoundRecord& record, double now);
+
+  /// One-off direct serve (locks the routed shard).
+  core::ServeResult serve(const ServiceRequest& req, double now);
+
+  /// Open-loop replay without queueing: every request is served at its
+  /// arrival time on its routed shard (the paper's per-request semantics,
+  /// sharded). Deterministic for any pool size.
+  ServiceReport replay(const std::vector<ServiceRequest>& trace,
+                       double round_interval_s);
+
+  /// Open-loop replay *with* queueing: each shard is a single server fed by
+  /// its RequestScheduler; arrivals beyond capacity queue (or are shed by
+  /// admission control). This is the throughput/tail-latency mode.
+  ServiceReport serve_open_loop(const std::vector<ServiceRequest>& trace,
+                                double round_interval_s);
+
+  /// Closed loop: `users_per_tenant` virtual users per tenant issue a
+  /// request, wait for its completion, think, and re-issue until the
+  /// configured duration.
+  ServiceReport serve_closed_loop(const ClosedLoopConfig& config,
+                                  const std::vector<TenantMix>& mix);
+
+  /// Aggregate single-flight statistics across every tenant's coalescer.
+  [[nodiscard]] Coalescer::Stats coalescer_stats() const;
+  /// Combined keep-alive cost of every shard's warm functions.
+  [[nodiscard]] double infrastructure_cost(double seconds) const;
+
+ private:
+  struct Shard {
+    JobId tenant = 0;
+    std::unique_ptr<core::FLStore> store;
+    std::mutex mu;
+  };
+  struct Tenant {
+    JobId id = 0;
+    const fed::FLJob* job = nullptr;
+    std::vector<int> shards;  ///< global shard indices
+  };
+
+  enum class Mode { kReplay, kQueued };
+
+  [[nodiscard]] const Tenant& tenant(JobId id) const;
+
+  /// Run one tenant's discrete-event timeline (see .cpp). `arrivals` must
+  /// be sorted by arrival time; closed-loop passes `closed` instead.
+  void run_tenant(const Tenant& tenant, Mode mode,
+                  const std::vector<ServiceRequest>& arrivals,
+                  double horizon_s, double round_interval_s,
+                  const ClosedLoopConfig* closed, const TenantMix* mix,
+                  std::vector<ServiceRecord>& out);
+
+  ServiceReport run_all_tenants(
+      Mode mode, const std::vector<ServiceRequest>& trace, double horizon_s,
+      double round_interval_s, const ClosedLoopConfig* closed,
+      const std::vector<TenantMix>* mix);
+
+  ShardedStoreConfig config_;
+  ObjectStore* cold_;
+  /// One per tenant, indexed by JobId (stable addresses: shards hold raw
+  /// interceptor pointers).
+  std::vector<std::unique_ptr<Coalescer>> coalescers_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Tenant> tenants_;
+};
+
+}  // namespace flstore::serve

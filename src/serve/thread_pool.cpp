@@ -1,0 +1,63 @@
+#include "serve/thread_pool.hpp"
+
+namespace flstore::serve {
+
+ThreadPool::ThreadPool(int threads) {
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  for (auto& t : tasks) submit(std::move(t));
+  wait_idle();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      const std::scoped_lock lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace flstore::serve

@@ -1,0 +1,53 @@
+// Fixed-size worker pool for the serving plane.
+//
+// The ShardedStore runs one deterministic discrete-event task per tenant;
+// the pool provides the wall-clock parallelism across tenants. Results never
+// depend on the pool size or on scheduling order — tasks share no mutable
+// state except internally synchronized components (ObjectStore, Coalescer).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flstore::serve {
+
+class ThreadPool {
+ public:
+  /// `threads` <= 0 runs every task inline on the submitting thread (handy
+  /// for debugging and for the determinism tests' reference runs).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Submit all of `tasks` and wait for them to finish.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace flstore::serve

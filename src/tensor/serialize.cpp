@@ -10,12 +10,6 @@ namespace {
 constexpr std::uint8_t kMagic[4] = {'F', 'L', 'T', '1'};
 
 template <typename T>
-void append_raw(Blob& out, const T& v) {
-  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-  out.insert(out.end(), p, p + sizeof(T));
-}
-
-template <typename T>
 T read_raw(std::span<const std::uint8_t> bytes, std::size_t offset) {
   T v;
   std::memcpy(&v, bytes.data() + offset, sizeof(T));
@@ -38,13 +32,25 @@ std::size_t serialized_size(std::size_t dim) noexcept {
 }
 
 Blob serialize_tensor(const Tensor& t) {
-  Blob out;
-  out.reserve(serialized_size(t.dim()));
-  out.insert(out.end(), std::begin(kMagic), std::end(kMagic));
-  append_raw(out, static_cast<std::uint64_t>(t.dim()));
-  for (std::size_t i = 0; i < t.dim(); ++i) append_raw(out, t[i]);
-  const std::uint64_t crc = checksum(std::span(out.data(), out.size()));
-  append_raw(out, crc);
+  // Sized upfront and filled with memcpy: one allocation, and no
+  // vector::insert growth paths (which GCC 12's -O3 stringop-overflow
+  // analysis flags spuriously).
+  Blob out(serialized_size(t.dim()));
+  std::size_t off = 0;
+  const auto put = [&out, &off](const void* p, std::size_t n) {
+    std::memcpy(out.data() + off, p, n);
+    off += n;
+  };
+  put(kMagic, sizeof(kMagic));
+  const auto dim = static_cast<std::uint64_t>(t.dim());
+  put(&dim, sizeof(dim));
+  for (std::size_t i = 0; i < t.dim(); ++i) {
+    const float v = t[i];
+    put(&v, sizeof(v));
+  }
+  const std::uint64_t crc = checksum(std::span(out.data(), off));
+  put(&crc, sizeof(crc));
+  FLSTORE_CHECK(off == out.size());
   return out;
 }
 

@@ -247,6 +247,14 @@ TEST_F(FLStoreFixture, InfrastructureCostTracksWarmFunctions) {
   EXPECT_LT(cost, 0.1);  // keep-alive pings are near-free (§4.5)
 }
 
+TEST(FLStoreConfigDefaults, RoutingOverheadIsSubMillisecond) {
+  // §5.5 measures request routing + tracker/engine lookups as
+  // sub-millisecond; the default once regressed to 2 ms, so pin it.
+  const FLStoreConfig cfg;
+  EXPECT_GT(cfg.routing_overhead_s, 0.0);
+  EXPECT_LT(cfg.routing_overhead_s, 1e-3);
+}
+
 TEST_F(FLStoreFixture, ServeUnknownDataThrows) {
   auto store = make_store();
   // Nothing ingested at all: the cold store is empty.

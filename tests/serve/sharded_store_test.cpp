@@ -1,0 +1,275 @@
+// ShardedStore: routing, multi-tenant replay determinism under the worker
+// pool, queued serving (throughput mode), admission control, closed loop.
+#include "serve/sharded_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/calibration.hpp"
+
+namespace flstore::serve {
+namespace {
+
+fed::FLJobConfig small_job(std::uint64_t seed) {
+  fed::FLJobConfig cfg;
+  cfg.model = "resnet18";
+  cfg.pool_size = 24;
+  cfg.clients_per_round = 6;
+  cfg.rounds = 80;
+  cfg.seed = seed;
+  return cfg;
+}
+
+struct Plane {
+  explicit Plane(ShardedStoreConfig cfg, int tenants = 2, int shards_each = 1)
+      : cold(sim::objstore_link(), PricingCatalog::aws()) {
+    for (int i = 0; i < tenants; ++i) {
+      jobs.push_back(
+          std::make_unique<fed::FLJob>(small_job(100 + std::uint64_t(i))));
+    }
+    store = std::make_unique<ShardedStore>(cold, cfg);
+    for (auto& job : jobs) {
+      (void)store->add_tenant(*job, {}, shards_each);
+    }
+  }
+
+  [[nodiscard]] std::vector<TenantMix> mix() const {
+    std::vector<TenantMix> out;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      out.push_back(TenantMix{static_cast<JobId>(i), jobs[i].get(), 1.0, {}, 3});
+    }
+    return out;
+  }
+
+  ObjectStore cold;
+  std::vector<std::unique_ptr<fed::FLJob>> jobs;
+  std::unique_ptr<ShardedStore> store;
+};
+
+OpenLoopConfig open_loop(double qps, double duration) {
+  OpenLoopConfig cfg;
+  cfg.offered_qps = qps;
+  cfg.duration_s = duration;
+  cfg.round_interval_s = 30.0;
+  cfg.seed = 7;
+  return cfg;
+}
+
+ShardedStoreConfig plane_config(int threads) {
+  ShardedStoreConfig cfg;
+  cfg.worker_threads = threads;
+  return cfg;
+}
+
+void expect_identical(const ServiceReport& a, const ServiceReport& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    ASSERT_EQ(ra.request.id, rb.request.id);
+    EXPECT_EQ(ra.tenant, rb.tenant);
+    EXPECT_EQ(ra.shard, rb.shard);
+    EXPECT_EQ(ra.rejected, rb.rejected);
+    EXPECT_EQ(ra.hits, rb.hits);
+    EXPECT_EQ(ra.misses, rb.misses);
+    EXPECT_DOUBLE_EQ(ra.start_s, rb.start_s);
+    EXPECT_DOUBLE_EQ(ra.queue_s, rb.queue_s);
+    EXPECT_DOUBLE_EQ(ra.comm_s, rb.comm_s);
+    EXPECT_DOUBLE_EQ(ra.comp_s, rb.comp_s);
+    EXPECT_DOUBLE_EQ(ra.cost_usd, rb.cost_usd);
+  }
+}
+
+// Acceptance criterion: a multi-tenant replay on 4 worker threads is
+// bit-identical to a single-threaded replay of the same trace.
+TEST(ShardedStore, ReplayDeterministicAcrossPoolSizes) {
+  Plane reference(plane_config(/*threads=*/0), /*tenants=*/3);
+  Plane pooled(plane_config(/*threads=*/4), /*tenants=*/3);
+  const auto trace = open_loop_trace(open_loop(0.4, 600.0), reference.mix());
+  ASSERT_GT(trace.size(), 100U);
+
+  const auto a = reference.store->replay(trace, 30.0);
+  const auto b = pooled.store->replay(trace, 30.0);
+  ASSERT_EQ(a.records.size(), trace.size());
+  expect_identical(a, b);
+}
+
+// The queued modes are deterministic too: scheduling decisions depend only
+// on simulated time, never on pool interleaving.
+TEST(ShardedStore, QueuedServingDeterministicAcrossPoolSizes) {
+  Plane reference(plane_config(0), /*tenants=*/2, /*shards_each=*/2);
+  Plane pooled(plane_config(4), /*tenants=*/2, /*shards_each=*/2);
+  const auto trace = open_loop_trace(open_loop(0.5, 400.0), reference.mix());
+  const auto a = reference.store->serve_open_loop(trace, 30.0);
+  const auto b = pooled.store->serve_open_loop(trace, 30.0);
+  expect_identical(a, b);
+}
+
+// A single-shard single-tenant replay matches driving the facade directly —
+// the serving plane adds no hidden cost or latency.
+TEST(ShardedStore, SingleShardReplayMatchesDirectFacade) {
+  auto cfg = plane_config(2);
+  // The bare-facade reference below has no interceptor, so run the plane
+  // with the direct cold path too.
+  cfg.coalesce_cold_fetches = false;
+  Plane plane(cfg, /*tenants=*/1);
+  const auto trace = open_loop_trace(open_loop(0.3, 400.0), plane.mix());
+  const auto report = plane.store->replay(trace, 30.0);
+
+  // Reference: a bare FLStore over a fresh cold store, same namespace,
+  // same interleaving of ingests and serves.
+  ObjectStore cold2(sim::objstore_link(), PricingCatalog::aws());
+  fed::FLJob job2(small_job(100));
+  core::FLStoreConfig store_cfg;
+  store_cfg.cold_namespace = "t0/";
+  core::FLStore direct(store_cfg, job2, cold2);
+  std::size_t next = 0;
+  const auto max_round = static_cast<RoundId>(400.0 / 30.0);
+  ASSERT_EQ(report.records.size(), trace.size());
+  const auto serve_and_compare = [&](double upto) {
+    while (next < trace.size() && trace[next].request.arrival_s < upto) {
+      const auto& req = trace[next].request;
+      const auto res = direct.serve(req, req.arrival_s);
+      const auto& rec = report.records[next];
+      EXPECT_EQ(rec.hits, res.hits);
+      EXPECT_EQ(rec.misses, res.misses);
+      EXPECT_DOUBLE_EQ(rec.comm_s, res.comm_s);
+      EXPECT_DOUBLE_EQ(rec.comp_s, res.comp_s);
+      EXPECT_DOUBLE_EQ(rec.cost_usd, res.cost_usd);
+      ++next;
+    }
+  };
+  for (RoundId r = 0; r <= max_round; ++r) {
+    const double t = 30.0 * r;
+    serve_and_compare(t);
+    if (r <= job2.latest_round()) direct.ingest_round(job2.make_round(r), t);
+  }
+  serve_and_compare(401.0);  // requests after the final ingest
+  EXPECT_EQ(next, trace.size());
+}
+
+TEST(ShardedStore, RoutingPoliciesSpreadOrPinTraffic) {
+  ShardedStoreConfig cfg;
+  cfg.routing = Routing::kClassAffinity;
+  Plane plane(cfg, /*tenants=*/1, /*shards_each=*/4);
+  fed::NonTrainingRequest p1;
+  p1.type = fed::WorkloadType::kInference;
+  fed::NonTrainingRequest p2;
+  p2.type = fed::WorkloadType::kClustering;
+  const auto s1 = plane.store->shard_for({0, p1});
+  const auto s2 = plane.store->shard_for({0, p2});
+  EXPECT_NE(s1, s2);  // different classes, different shards
+  p2.id = 999;        // class affinity ignores the id
+  EXPECT_EQ(plane.store->shard_for({0, p2}), s2);
+}
+
+TEST(ShardedStore, QueueingKicksInWhenOfferedLoadExceedsCapacity) {
+  // One shard, heavy P2 analytics at 1 QPS: service times of seconds per
+  // request mean the queue must grow and latency must include waiting.
+  ShardedStoreConfig cfg;
+  cfg.worker_threads = 2;
+  Plane plane(cfg, /*tenants=*/1);
+  const auto trace = open_loop_trace(open_loop(1.0, 300.0), plane.mix());
+  const auto report = plane.store->serve_open_loop(trace, 30.0);
+  EXPECT_GT(report.queue_waits().percentile(95.0), 0.0);
+  // Sharding the same tenant 4 ways at the same offered load cuts the tail.
+  ShardedStoreConfig cfg4;
+  cfg4.worker_threads = 2;
+  cfg4.routing = Routing::kClassAffinity;
+  Plane plane4(cfg4, /*tenants=*/1, /*shards_each=*/4);
+  const auto report4 = plane4.store->serve_open_loop(trace, 30.0);
+  EXPECT_LT(report4.latencies().percentile(95.0),
+            report.latencies().percentile(95.0));
+  EXPECT_GE(report4.throughput_qps(), report.throughput_qps());
+}
+
+TEST(ShardedStore, AdmissionControlShedsLoad) {
+  ShardedStoreConfig cfg;
+  cfg.scheduler.class_queue_limit = 2;
+  Plane plane(cfg, /*tenants=*/1);
+  const auto trace = open_loop_trace(open_loop(2.0, 200.0), plane.mix());
+  const auto report = plane.store->serve_open_loop(trace, 30.0);
+  EXPECT_GT(report.rejected(), 0U);
+  EXPECT_EQ(report.rejected() + report.completed(), trace.size());
+}
+
+TEST(ShardedStore, ClosedLoopBoundsConcurrencyPerTenant) {
+  ShardedStoreConfig cfg;
+  Plane plane(cfg, /*tenants=*/1);
+  ClosedLoopConfig closed;
+  closed.users_per_tenant = 2;
+  closed.think_s = 1.0;
+  closed.duration_s = 300.0;
+  closed.round_interval_s = 30.0;
+  const auto report = plane.store->serve_closed_loop(closed, plane.mix());
+  ASSERT_GT(report.completed(), 10U);
+  // At most `users` requests are ever in flight: sweep the records and
+  // count overlapping [arrival, completion] intervals.
+  for (const auto& r : report.records) {
+    int overlapping = 0;
+    for (const auto& o : report.records) {
+      if (o.request.arrival_s <= r.start_s && o.completion_s() > r.start_s) {
+        ++overlapping;
+      }
+    }
+    EXPECT_LE(overlapping, closed.users_per_tenant);
+  }
+}
+
+TEST(ShardedStore, ClosedLoopSurvivesAdmissionRejections) {
+  // Shed users must re-issue after a think interval, not vanish: with a
+  // 1-deep class queue the run still produces traffic through the whole
+  // duration instead of decaying to zero live users.
+  ShardedStoreConfig cfg;
+  cfg.scheduler.class_queue_limit = 1;
+  Plane plane(cfg, /*tenants=*/1);
+  ClosedLoopConfig closed;
+  closed.users_per_tenant = 6;
+  closed.think_s = 0.5;
+  closed.duration_s = 300.0;
+  closed.round_interval_s = 30.0;
+  const auto report = plane.store->serve_closed_loop(closed, plane.mix());
+  EXPECT_GT(report.rejected(), 0U);
+  double last_arrival = 0.0;
+  for (const auto& r : report.records) {
+    last_arrival = std::max(last_arrival, r.request.arrival_s);
+  }
+  EXPECT_GT(last_arrival, 0.8 * closed.duration_s);
+}
+
+TEST(ShardedStore, CoalescerStatsArePerRunAndWindowsDontLeak) {
+  ShardedStoreConfig cfg;
+  cfg.routing = Routing::kHash;
+  ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
+  fed::FLJob job(small_job(100));
+  ShardedStore store(cold, cfg);
+  core::FLStoreConfig store_cfg;
+  store_cfg.policy.mode = core::PolicyMode::kLru;
+  (void)store.add_tenant(job, store_cfg, 4);
+  const std::vector<TenantMix> mix = {TenantMix{0, &job, 1.0, {}, 3}};
+  const auto trace = open_loop_trace(open_loop(0.5, 300.0), mix);
+  const auto first = store.replay(trace, 30.0);
+  EXPECT_GT(first.coalescer.leads, 0U);
+  // The second run restarts virtual time near 0; stale windows from the
+  // first run must not be joinable, and its report must cover it alone.
+  // (Request ids must stay unique per FLStore lifetime — the tracker
+  // enforces it — so the rerun offsets them.)
+  auto trace2 = trace;
+  for (auto& r : trace2) r.request.id += 1'000'000;
+  const auto second = store.replay(trace2, 30.0);
+  const auto cumulative = store.coalescer_stats();
+  EXPECT_EQ(cumulative.leads, first.coalescer.leads + second.coalescer.leads);
+  EXPECT_EQ(cumulative.joins, first.coalescer.joins + second.coalescer.joins);
+}
+
+TEST(ShardedStore, UnknownTenantThrows) {
+  Plane plane(plane_config(0), 1);
+  fed::NonTrainingRequest req;
+  req.type = fed::WorkloadType::kInference;
+  EXPECT_THROW((void)plane.store->serve({5, req}, 0.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace flstore::serve
