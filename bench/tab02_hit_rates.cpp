@@ -8,6 +8,10 @@
 //   P4 family: FLStore 20000 hits / 0 miss of 20000; FIFO/LFU/LRU 0 hits.
 #include "bench_common.hpp"
 
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+
 #include "core/flstore.hpp"
 #include "fed/trace.hpp"
 
@@ -55,6 +59,96 @@ Row run_policy(const std::string& family, core::PolicyMode mode,
       row.misses += res.misses;
       t += 10.0;
     }
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// Eviction-cost microbench: victims/sec of the O(log n) eviction index vs
+// the pre-refactor O(n) full-index scan, at 10^5 and 10^6 resident entries.
+
+struct EvictionCostRow {
+  double engine_vps = 0.0;  ///< victims/sec through CacheEngine
+  double oracle_vps = 0.0;  ///< victims/sec of the O(n) scan reference
+};
+
+MetadataKey bench_key(std::size_t i) {
+  // Spread entries over rounds so round-aware mode exercises its ordering.
+  return MetadataKey::metrics(static_cast<ClientId>(i % 100000),
+                              static_cast<RoundId>(i / 100000));
+}
+
+EvictionCostRow eviction_cost(core::PolicyMode order, bool round_aware,
+                              std::size_t n, std::size_t victims) {
+  using clock = std::chrono::steady_clock;
+  EvictionCostRow row;
+
+  // Engine path: fill to exactly `capacity`, then every further insert
+  // evicts one victim (insert + evict is the steady-state eviction cost).
+  {
+    FunctionRuntime runtime(FunctionRuntime::Config{}, PricingCatalog::aws());
+    core::ServerlessCachePool pool(
+        core::ServerlessCachePool::Config{4 * units::GB, 1, 0.5, 0}, runtime);
+    core::CacheEngine engine(
+        core::CacheEngine::Config{n * units::KB, order, round_aware}, pool);
+    const auto blob = std::make_shared<const Blob>(Blob{1});
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)engine.cache_object(bench_key(i), blob, units::KB, 0.0);
+    }
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < victims; ++i) {
+      (void)engine.cache_object(bench_key(n + i), blob, units::KB, 1.0);
+    }
+    const auto elapsed = std::chrono::duration<double>(clock::now() - start);
+    row.engine_vps =
+        static_cast<double>(engine.forced_evictions()) / elapsed.count();
+  }
+
+  // Reference path: the old evict_victim — a full scan of a flat index per
+  // victim (no pool traffic at all, so this under-counts the old cost).
+  {
+    struct Meta {
+      std::uint64_t last_access = 0, inserted = 0, accesses = 0;
+      RoundId round = 0;
+    };
+    std::unordered_map<MetadataKey, Meta, MetadataKeyHash> index;
+    index.reserve(n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      index.emplace(bench_key(i),
+                    Meta{i, i, 1, static_cast<RoundId>(i / 100000)});
+    }
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < victims; ++i) {
+      auto victim = index.begin();
+      auto best = std::numeric_limits<std::uint64_t>::max();
+      auto best_round = std::numeric_limits<RoundId>::max();
+      for (auto it = index.begin(); it != index.end(); ++it) {
+        if (round_aware) {
+          if (it->second.round < best_round ||
+              (it->second.round == best_round &&
+               it->second.last_access < best)) {
+            best_round = it->second.round;
+            best = it->second.last_access;
+            victim = it;
+          }
+          continue;
+        }
+        const auto s = order == core::PolicyMode::kLfu ? it->second.accesses
+                       : order == core::PolicyMode::kFifo
+                           ? it->second.inserted
+                           : it->second.last_access;
+        if (s < best) {
+          best = s;
+          victim = it;
+        }
+      }
+      index.erase(victim);
+      index.emplace(bench_key(n + i),
+                    Meta{n + i, n + i, 1,
+                         static_cast<RoundId>((n + i) / 100000)});
+    }
+    const auto elapsed = std::chrono::duration<double>(clock::now() - start);
+    row.oracle_vps = static_cast<double>(victims) / elapsed.count();
   }
   return row;
 }
@@ -139,5 +233,117 @@ int main() {
                       static_cast<double>(fl_p4.hits), "");
   sim::print_headline("P4 FLStore misses", 0,
                       static_cast<double>(fl_p4.misses), "");
+
+  // ---- eviction-cost column ----------------------------------------------
+  bench::note(
+      "\nEviction engine cost: victims/sec through the O(log n) ordering\n"
+      "index vs the pre-refactor O(n) full-index scan (scan timings exclude\n"
+      "pool traffic, so the speedup is a lower bound).");
+  Table evc({"entries", "mode", "victims/s (engine)", "victims/s (O(n) scan)",
+             "speedup"});
+  struct ModeRow {
+    const char* name;
+    core::PolicyMode order;
+    bool round_aware;
+  };
+  const ModeRow evc_modes[] = {
+      {"LRU", core::PolicyMode::kLru, false},
+      {"LFU", core::PolicyMode::kLfu, false},
+      {"FIFO", core::PolicyMode::kFifo, false},
+      {"round-aware", core::PolicyMode::kLru, true},
+  };
+  double speedup_1e5 = 0.0;
+  for (const std::size_t n : {std::size_t{100000}, std::size_t{1000000}}) {
+    for (const auto& m : evc_modes) {
+      // At 10^6 entries the O(n) scan is ~100 us/victim; two modes keep the
+      // bench under a minute while still showing the scaling cliff.
+      if (n == 1000000 && m.order == core::PolicyMode::kLfu) continue;
+      if (n == 1000000 && m.order == core::PolicyMode::kFifo) continue;
+      const auto victims = n == 1000000 ? std::size_t{100} : std::size_t{400};
+      const auto row = eviction_cost(m.order, m.round_aware, n, victims);
+      const auto speedup = row.engine_vps / row.oracle_vps;
+      if (n == 100000 && m.order == core::PolicyMode::kLru &&
+          !m.round_aware) {
+        speedup_1e5 = speedup;
+      }
+      evc.add_row({std::to_string(n), m.name, fmt(row.engine_vps, 0),
+                   fmt(row.oracle_vps, 0), fmt(speedup, 1) + "x"});
+    }
+  }
+  std::printf("%s", evc.to_string().c_str());
+  sim::print_headline("eviction speedup at 1e5 entries (>= 10x)", 10.0,
+                      speedup_1e5, "x");
+
+  // ---- partitioned vs unpartitioned --------------------------------------
+  bench::note(
+      "\nPer-class partitions under one capacity-squeezed mixed-workload\n"
+      "cache (tailored policies, round-aware eviction). Unpartitioned, the\n"
+      "P2 round churn (hundreds of MB per round) washes out the small P1\n"
+      "aggregate and P4 metadata windows; with per-class budgets (derived\n"
+      "from the unpartitioned run's ledger via rebalance_class_budgets)\n"
+      "each class evicts only against itself.");
+  fed::FLJobConfig mixed_cfg;
+  mixed_cfg.model = "efficientnet_v2_s";
+  mixed_cfg.pool_size = 100;
+  mixed_cfg.clients_per_round = 10;
+  mixed_cfg.rounds = 300;
+  fed::FLJob mixed_job(mixed_cfg);
+  fed::TraceConfig trace_cfg;
+  trace_cfg.duration_s = 300.0;
+  trace_cfg.total_requests = 900;
+  trace_cfg.round_interval_s = 1.0;
+  const auto mixed_trace = fed::generate_trace(trace_cfg, mixed_job);
+  const auto capacity = 12ULL * mixed_job.model().object_bytes;
+
+  std::array<units::Bytes, fed::kPolicyClassCount> budgets{};
+  Table part({"cache", "class", "hits", "misses", "hit %", "resident MB"});
+  double hit_rate_plain = 0.0, hit_rate_part = 0.0;
+  std::array<std::array<double, fed::kPolicyClassCount>, 2> class_rate{};
+  for (const bool partitioned : {false, true}) {
+    ObjectStore mixed_cold(sim::objstore_link(), PricingCatalog::aws());
+    core::FLStoreConfig cfg;
+    cfg.cache_capacity = capacity;
+    if (partitioned) cfg.class_capacity = budgets;
+    core::FLStore store(cfg, mixed_job, mixed_cold);
+    auto adapter = sim::adapt(store);
+    const auto run =
+        sim::run_trace(*adapter, mixed_job, mixed_trace, trace_cfg.duration_s,
+                       trace_cfg.round_interval_s);
+    const auto label = partitioned ? "partitioned" : "unpartitioned";
+    std::array<core::ClassDemand, fed::kPolicyClassCount> demand{};
+    for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+      const auto& s = store.engine().class_stats(c);
+      demand[c] = {s.hits, s.misses, s.bytes};
+      const auto total = s.hits + s.misses;
+      const auto rate = total == 0 ? 0.0
+                                   : static_cast<double>(s.hits) /
+                                         static_cast<double>(total);
+      class_rate[partitioned ? 1 : 0][c] = rate;
+      part.add_row({label, fed::to_string(static_cast<fed::PolicyClass>(c)),
+                    std::to_string(s.hits), std::to_string(s.misses),
+                    fmt(rate, 2), fmt(units::to_mb(s.bytes), 0)});
+    }
+    const auto hits = run.total_hits();
+    const auto total = hits + run.total_misses();
+    const auto rate = total == 0 ? 0.0
+                                 : static_cast<double>(hits) /
+                                       static_cast<double>(total);
+    (partitioned ? hit_rate_part : hit_rate_plain) = rate;
+    if (!partitioned) {
+      // Floor of two model objects: enough for a class to hold a current
+      // aggregate (P1) or a small window even when its weight rounds to 0.
+      budgets = core::PolicyEngine::rebalance_class_budgets(
+          demand, capacity, 2 * mixed_job.model().object_bytes);
+    }
+  }
+  std::printf("%s", part.to_string().c_str());
+  std::printf(
+      "\n  overall hit rate: %.2f unpartitioned -> %.2f partitioned\n"
+      "  per-class (unpartitioned -> partitioned): P1 %.2f -> %.2f, "
+      "P3 %.2f -> %.2f, P4 %.2f -> %.2f\n"
+      "  (the P2 churn class is sacrificed by design: its per-round working\n"
+      "   set exceeds any budget, so the rebalancer keeps it at the floor)\n",
+      hit_rate_plain, hit_rate_part, class_rate[0][0], class_rate[1][0],
+      class_rate[0][2], class_rate[1][2], class_rate[0][3], class_rate[1][3]);
   return 0;
 }

@@ -1,8 +1,10 @@
 #include "core/adaptive_policy.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
+#include "core/policy.hpp"
 
 namespace flstore::core {
 
@@ -35,6 +37,17 @@ void AdaptivePolicySelector::report(fed::PolicyClass cls, double hit_rate) {
 
 std::uint64_t AdaptivePolicySelector::total_pulls() const {
   return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+std::array<units::Bytes, fed::kPolicyClassCount>
+AdaptivePolicySelector::suggest_budgets(units::Bytes total,
+                                        units::Bytes floor_bytes) const {
+  std::array<double, fed::kPolicyClassCount> weight{};
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    weight[c] = static_cast<double>(counts_[c]) *
+                std::max(0.0, 1.0 - means_[c]);
+  }
+  return distribute_class_budgets(total, floor_bytes, weight);
 }
 
 }  // namespace flstore::core

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "fed/request.hpp"
 
 namespace flstore::core {
@@ -42,6 +43,15 @@ class AdaptivePolicySelector {
   void report(fed::PolicyClass cls, double hit_rate);
 
   [[nodiscard]] fed::PolicyClass best() const;
+
+  /// Suggest per-class cache budgets from what the bandit has learned:
+  /// `total` bytes split with `floor_bytes` guaranteed per class and the
+  /// remainder weighted by pulls × (1 − mean hit rate) — heavily exercised
+  /// classes that still miss claim the space. With no pulls the split is
+  /// even. Budgets sum to `total` exactly (CacheEngine::set_class_capacity
+  /// takes them as-is).
+  [[nodiscard]] std::array<units::Bytes, fed::kPolicyClassCount>
+  suggest_budgets(units::Bytes total, units::Bytes floor_bytes) const;
   [[nodiscard]] double mean_reward(fed::PolicyClass cls) const {
     return means_[static_cast<std::size_t>(cls)];
   }

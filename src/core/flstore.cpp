@@ -77,6 +77,7 @@ FLStore::FLStore(FLStoreConfig config, const fed::FLJob& job,
   pool_ = std::make_unique<ServerlessCachePool>(pool_cfg, runtime_);
   CacheEngine::Config engine_cfg;
   engine_cfg.capacity = config_.cache_capacity;
+  engine_cfg.class_capacity = config_.class_capacity;
   engine_cfg.eviction_order =
       is_tailored(config_.policy.mode) ? PolicyMode::kLru : config_.policy.mode;
   engine_cfg.round_aware_eviction = is_tailored(config_.policy.mode);
@@ -113,12 +114,14 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
   per_round.random_seed ^= static_cast<std::uint64_t>(record.round) + 1;
   PolicyEngine ingest_policy(per_round);
   const auto plan = ingest_policy.plan_ingest(record, *job_);
-  for (const auto& key : plan.cache) {
-    const auto it = encoded.find(key);
+  for (const auto& directive : plan.cache) {
+    const auto it = encoded.find(directive.key);
     FLSTORE_CHECK(it != encoded.end());
     auto blob = std::make_shared<const Blob>(it->second.blob);
-    engine_->cache_object(key, std::move(blob), it->second.logical_bytes, now,
-                          now);
+    engine_->cache_object(directive.key, std::move(blob),
+                          it->second.logical_bytes, now, now,
+                          /*pinned=*/false, /*opportunistic=*/false,
+                          directive.cls);
   }
   for (const auto& key : plan.evict) {
     // Window maintenance must not wash out pinned P3 client tracks.
@@ -147,7 +150,8 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
         engine_->cache_object(key,
                               std::make_shared<const Blob>(it->second.blob),
                               it->second.logical_bytes, now, now,
-                              /*pinned=*/true);
+                              /*pinned=*/true, /*opportunistic=*/false,
+                              fed::PolicyClass::kP3);
       }
     }
     if (any_tracked) {
@@ -157,7 +161,8 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
       engine_->cache_object(agg_key,
                             std::make_shared<const Blob>(it->second.blob),
                             it->second.logical_bytes, now, now,
-                            /*pinned=*/true);
+                            /*pinned=*/true, /*opportunistic=*/false,
+                            fed::PolicyClass::kP3);
     }
   }
 }
@@ -215,7 +220,7 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
   std::unordered_map<FunctionId, units::Bytes> bytes_per_function;
   bool bulk_fetched = false;
   for (const auto& key : needs) {
-    auto hit = engine_->lookup(key, now);
+    auto hit = engine_->lookup(key, now, policy_class);
     res.comm_s += hit.failover_delay_s;
     if (hit.failover_delay_s > 0.0 && hit.group != kNoGroup &&
         config_.auto_repair) {
@@ -236,7 +241,7 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
     res.comm_s += fetched.latency_s;
     workloads::absorb_blob(input, key, *fetched.blob);
     engine_->cache_object(key, fetched.blob, fetched.logical_bytes, now, now,
-                          pin);
+                          pin, /*opportunistic=*/false, policy_class);
     if (!bulk_fetched && is_tailored(config_.policy.mode)) {
       bulk_fetched = true;
       for (const auto& sibling : needs) {
@@ -244,7 +249,8 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
         if (!cold_->contains(cold_name(sibling))) continue;
         auto s = fetch_cold(sibling, request_fees, now + res.comm_s);
         res.comm_s += s.latency_s;
-        engine_->cache_object(sibling, s.blob, s.logical_bytes, now, now, pin);
+        engine_->cache_object(sibling, s.blob, s.logical_bytes, now, now, pin,
+                              /*opportunistic=*/false, policy_class);
       }
     }
   }
@@ -317,7 +323,7 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
       auto fetched = fetch_cold(key, infra_meter_, now + res.comm_s);
       engine_->cache_object(key, fetched.blob, fetched.logical_bytes, now,
                             now + fetched.latency_s, pin,
-                            /*opportunistic=*/true);
+                            /*opportunistic=*/true, policy_class);
     }
     for (const auto& key : plan.evict) {
       // A policy may clean its own pinned trail (P3), but must not evict
@@ -363,6 +369,12 @@ bool FLStore::inject_fault(std::int32_t function_rank) {
 
 double FLStore::infrastructure_cost(double seconds) const {
   return runtime_.keepalive_cost(seconds);
+}
+
+void FLStore::set_class_capacity(
+    const std::array<units::Bytes, fed::kPolicyClassCount>& budgets) {
+  config_.class_capacity = budgets;
+  engine_->set_class_capacity(budgets);
 }
 
 }  // namespace flstore::core

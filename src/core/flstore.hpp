@@ -15,6 +15,7 @@
 //   // res.latency_s, res.cost_usd, res.output.summary
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -37,6 +38,12 @@ struct FLStoreConfig {
   /// Cache capacity cap in bytes; 0 = grow on demand. FLStore-limited runs
   /// with this set to half the tailored working set.
   units::Bytes cache_capacity = 0;
+  /// Optional per-class cache budgets (bytes, indexed by fed::class_index).
+  /// All-zero = one shared pool (the paper's default). With budgets set,
+  /// each P1–P4 class evicts within its own partition, so one class's burst
+  /// cannot wash out another's working set; the serving plane uses this for
+  /// tailored-vs-LRU sweeps with bounded per-class memory.
+  std::array<units::Bytes, fed::kPolicyClassCount> class_capacity{};
   /// Request routing + tracker/engine lookups. §5.5 measures this path as
   /// sub-millisecond, so the default must stay below 1 ms (regression-tested
   /// in tests/core/flstore_test.cpp).
@@ -90,6 +97,12 @@ class FLStore {
 
   /// Keep-alive + cold-storage fees for an interval of `seconds`.
   [[nodiscard]] double infrastructure_cost(double seconds) const;
+
+  /// Re-budget the engine's class partitions (policy-layer rebalancing from
+  /// observed hit rates; see PolicyEngine::rebalance_class_budgets).
+  /// Partitions over their new budget evict down immediately.
+  void set_class_capacity(
+      const std::array<units::Bytes, fed::kPolicyClassCount>& budgets);
 
   /// Route cold-store miss fetches through `interceptor` (non-owning;
   /// nullptr restores the direct path). The serving plane injects its

@@ -31,6 +31,12 @@ void plan_p2(const fed::NonTrainingRequest& req, const fed::RoundDirectory& dir,
 /// (two of them — consecutive tracking requests can skip a participation
 /// when the client trains faster than it is audited), evict its older
 /// entries (Fig 6, example 2).
+///
+/// Eviction window: of the client's last three participation rounds, the
+/// one being served (req.round) and the one immediately before it
+/// (r + 1 >= req.round) stay cached — across-round trackers diff the
+/// current participation against the previous one. Everything older in the
+/// trail (update, metrics and that round's aggregate) is dropped.
 void plan_p3(const fed::NonTrainingRequest& req, const fed::RoundDirectory& dir,
              RequestPlan& plan) {
   if (req.client == kNoClient) return;
@@ -48,7 +54,7 @@ void plan_p3(const fed::NonTrainingRequest& req, const fed::RoundDirectory& dir,
   // Evict this client's trail older than the previous participation.
   const auto window = dir.participation_window(req.client, req.round, 3);
   for (const auto r : window) {
-    if (r + 1 < req.round && r != req.round) {
+    if (r + 1 < req.round) {
       plan.evict.push_back(MetadataKey::update(req.client, r));
       plan.evict.push_back(MetadataKey::metrics(req.client, r));
       plan.evict.push_back(MetadataKey::aggregate(r));
@@ -130,7 +136,8 @@ IngestPlan PolicyEngine::plan_ingest(const fed::RoundRecord& record,
     // "We keep the latest round cached" — newest round's updates in, the
     // round before the previous one out.
     for (const auto& u : record.updates) {
-      plan.cache.push_back(MetadataKey::update(u.client, r));
+      plan.cache.push_back(
+          {MetadataKey::update(u.client, r), fed::PolicyClass::kP2});
     }
     if (r >= 2) {
       for (const auto c : dir.participants(r - 2)) {
@@ -139,14 +146,15 @@ IngestPlan PolicyEngine::plan_ingest(const fed::RoundRecord& record,
     }
   }
   if (active(fed::PolicyClass::kP1)) {
-    plan.cache.push_back(MetadataKey::aggregate(r));
+    plan.cache.push_back({MetadataKey::aggregate(r), fed::PolicyClass::kP1});
     if (r >= 2) plan.evict.push_back(MetadataKey::aggregate(r - 2));
   }
   if (active(fed::PolicyClass::kP4)) {
     for (const auto& m : record.metrics) {
-      plan.cache.push_back(MetadataKey::metrics(m.client, r));
+      plan.cache.push_back(
+          {MetadataKey::metrics(m.client, r), fed::PolicyClass::kP4});
     }
-    plan.cache.push_back(MetadataKey::metadata(r));
+    plan.cache.push_back({MetadataKey::metadata(r), fed::PolicyClass::kP4});
     const auto stale = r - config_.metadata_window;
     if (stale >= 0) {
       for (const auto c : dir.participants(stale)) {
@@ -158,6 +166,62 @@ IngestPlan PolicyEngine::plan_ingest(const fed::RoundRecord& record,
   // P3 tracks are demand/prefetch-driven; ingest adds nothing for them
   // (the newest round is already covered by the P2 write-allocate).
   return plan;
+}
+
+std::array<units::Bytes, fed::kPolicyClassCount> distribute_class_budgets(
+    units::Bytes total, units::Bytes floor_bytes,
+    const std::array<double, fed::kPolicyClassCount>& weights) {
+  const auto floor_each =
+      std::min(floor_bytes, total / fed::kPolicyClassCount);
+  const units::Bytes distributable =
+      total - floor_each * fed::kPolicyClassCount;
+  double weight_sum = 0.0;
+  for (const auto w : weights) weight_sum += w;
+
+  std::array<units::Bytes, fed::kPolicyClassCount> budgets{};
+  units::Bytes assigned = 0;
+  std::size_t heaviest = 0;
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    const double frac = weight_sum > 0.0
+                            ? weights[c] / weight_sum
+                            : 1.0 / fed::kPolicyClassCount;
+    budgets[c] = floor_each + static_cast<units::Bytes>(
+                                  static_cast<double>(distributable) * frac);
+    assigned += budgets[c];
+    if (weights[c] > weights[heaviest]) heaviest = c;
+  }
+  // Rounding slack goes to the heaviest class so the budgets sum to total.
+  budgets[heaviest] += total - assigned;
+  return budgets;
+}
+
+std::array<units::Bytes, fed::kPolicyClassCount>
+PolicyEngine::rebalance_class_budgets(
+    const std::array<ClassDemand, fed::kPolicyClassCount>& demand,
+    units::Bytes total, units::Bytes floor_bytes) {
+  // Primary signal: hit-rate-scaled resident bytes — the space each class
+  // holds, discounted by how well it converts that space into hits. A class
+  // churning through misses keeps only its floor: no budget would hold its
+  // working set, so the bytes serve better where they already pay off.
+  std::array<double, fed::kPolicyClassCount> weight{};
+  double weight_sum = 0.0;
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    const auto accesses = demand[c].hits + demand[c].misses;
+    const double hit_rate =
+        accesses == 0 ? 0.0
+                      : static_cast<double>(demand[c].hits) /
+                            static_cast<double>(accesses);
+    weight[c] = static_cast<double>(demand[c].bytes) * hit_rate;
+    weight_sum += weight[c];
+  }
+  if (weight_sum == 0.0) {
+    // Cold ledger: fall back to miss pressure with a +1 prior (even split
+    // when there has been no traffic at all).
+    for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+      weight[c] = static_cast<double>(demand[c].misses) + 1.0;
+    }
+  }
+  return distribute_class_budgets(total, floor_bytes, weight);
 }
 
 }  // namespace flstore::core

@@ -8,11 +8,13 @@
 // are configurations of the same machinery.
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "common/units.hpp"
 #include "fed/directory.hpp"
 #include "fed/metadata.hpp"
 #include "fed/request.hpp"
@@ -60,10 +62,39 @@ struct RequestPlan {
   std::vector<MetadataKey> evict;     ///< drop from cache
 };
 
-/// What to do when a training round lands (step 1 of Fig 6).
+/// What to do when a training round lands (step 1 of Fig 6). Each write-
+/// allocate names the policy class it serves, so the Cache Engine can
+/// charge the object to that class's partition budget.
 struct IngestPlan {
-  std::vector<MetadataKey> cache;  ///< write-allocate into serverless memory
-  std::vector<MetadataKey> evict;  ///< windows that slid past
+  struct CacheDirective {
+    MetadataKey key;
+    fed::PolicyClass cls = fed::PolicyClass::kP1;
+
+    friend bool operator==(const CacheDirective&,
+                           const CacheDirective&) = default;
+  };
+  std::vector<CacheDirective> cache;  ///< write-allocate into serverless memory
+  std::vector<MetadataKey> evict;     ///< windows that slid past
+};
+
+/// Split `total` bytes across the four class partitions: `floor_bytes`
+/// guaranteed each (clamped to total/4), the remainder proportional to
+/// `weights` (an all-zero weight vector splits evenly). Rounding slack
+/// lands on the heaviest class so the result sums to `total` exactly.
+/// Shared by PolicyEngine::rebalance_class_budgets and
+/// AdaptivePolicySelector::suggest_budgets, which differ only in how they
+/// derive the weights.
+[[nodiscard]] std::array<units::Bytes, fed::kPolicyClassCount>
+distribute_class_budgets(
+    units::Bytes total, units::Bytes floor_bytes,
+    const std::array<double, fed::kPolicyClassCount>& weights);
+
+/// Observed per-class cache demand, the input to partition rebalancing
+/// (CacheEngine::ClassStats carries the same counters).
+struct ClassDemand {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  units::Bytes bytes = 0;  ///< resident bytes the class was observed holding
 };
 
 class PolicyEngine {
@@ -92,6 +123,19 @@ class PolicyEngine {
   /// plan (they cache nothing until a request misses).
   [[nodiscard]] IngestPlan plan_ingest(const fed::RoundRecord& record,
                                        const fed::RoundDirectory& dir);
+
+  /// Split `total` bytes of cache across the four class partitions from the
+  /// observed ledger: every class keeps `floor_bytes`, and the remainder is
+  /// weighted by each class's hit-rate-scaled resident bytes — protect the
+  /// working sets that are earning hits, rather than pouring space into a
+  /// churn class whose working set no budget could hold. On a cold ledger
+  /// (no hits anywhere) the weight falls back to miss pressure. Budgets sum
+  /// to `total` exactly; the floor keeps starved classes alive so their hit
+  /// rate (and next rebalance) can recover.
+  [[nodiscard]] static std::array<units::Bytes, fed::kPolicyClassCount>
+  rebalance_class_budgets(
+      const std::array<ClassDemand, fed::kPolicyClassCount>& demand,
+      units::Bytes total, units::Bytes floor_bytes);
 
  private:
   PolicyConfig config_;

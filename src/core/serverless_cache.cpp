@@ -27,17 +27,29 @@ std::optional<GroupId> ServerlessCachePool::put(
     const std::string& name, std::shared_ptr<const Blob> blob,
     units::Bytes logical_bytes) {
   FLSTORE_CHECK(blob != nullptr);
-  // First fit over existing groups.
+  // First fit over existing groups. The write goes to *every* warm member,
+  // so the group only fits when each warm replica either already holds the
+  // object or has room — replicas can drift apart (partial failures,
+  // inconsistent evictions), and admitting on the first member's headroom
+  // alone would overflow a fuller sibling.
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    const auto* warm = first_warm(groups_[g]);
-    if (warm == nullptr) continue;
-    if (warm->has_object(name) || warm->free_bytes() >= logical_bytes) {
-      for (const auto id : groups_[g].members) {
-        auto& fn = runtime_->instance(id);
-        if (fn.warm()) fn.put_object(name, blob, logical_bytes);
+    bool any_warm = false;
+    bool fits_all = true;
+    for (const auto id : groups_[g].members) {
+      const auto& fn = runtime_->instance(id);
+      if (!fn.warm()) continue;
+      any_warm = true;
+      if (!fn.has_object(name) && fn.free_bytes() < logical_bytes) {
+        fits_all = false;
+        break;
       }
-      return static_cast<GroupId>(g);
     }
+    if (!any_warm || !fits_all) continue;
+    for (const auto id : groups_[g].members) {
+      auto& fn = runtime_->instance(id);
+      if (fn.warm()) fn.put_object(name, blob, logical_bytes);
+    }
+    return static_cast<GroupId>(g);
   }
   if (config_.max_groups > 0 &&
       static_cast<std::int32_t>(groups_.size()) >= config_.max_groups) {

@@ -379,6 +379,44 @@ ServiceReport ShardedStore::serve_closed_loop(
                          config.round_interval_s, &config, &mix);
 }
 
+std::array<core::CacheEngine::ClassStats, core::CacheEngine::kPartitions>
+ShardedStore::tenant_class_stats(JobId tenant_id) const {
+  std::array<core::CacheEngine::ClassStats, core::CacheEngine::kPartitions>
+      total{};
+  for (const auto global : tenant(tenant_id).shards) {
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    const std::scoped_lock lock(shard.mu);
+    for (std::size_t p = 0; p < core::CacheEngine::kPartitions; ++p) {
+      const auto& s = shard.store->engine().class_stats(p);
+      total[p].hits += s.hits;
+      total[p].misses += s.misses;
+      total[p].bytes += s.bytes;
+      total[p].objects += s.objects;
+      total[p].budget = s.budget;  // identical across a tenant's shards
+    }
+  }
+  return total;
+}
+
+std::array<units::Bytes, fed::kPolicyClassCount>
+ShardedStore::rebalance_tenant_partitions(JobId tenant_id,
+                                          units::Bytes total_per_shard,
+                                          units::Bytes floor_per_shard) {
+  const auto stats = tenant_class_stats(tenant_id);
+  std::array<core::ClassDemand, fed::kPolicyClassCount> demand{};
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    demand[c] = {stats[c].hits, stats[c].misses, stats[c].bytes};
+  }
+  const auto budgets = core::PolicyEngine::rebalance_class_budgets(
+      demand, total_per_shard, floor_per_shard);
+  for (const auto global : tenant(tenant_id).shards) {
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    const std::scoped_lock lock(shard.mu);
+    shard.store->set_class_capacity(budgets);
+  }
+  return budgets;
+}
+
 Coalescer::Stats ShardedStore::coalescer_stats() const {
   Coalescer::Stats total;
   for (const auto& co : coalescers_) {

@@ -112,6 +112,22 @@ class ShardedStore {
   ServiceReport serve_closed_loop(const ClosedLoopConfig& config,
                                   const std::vector<TenantMix>& mix);
 
+  /// Aggregate per-class cache statistics across every shard of `tenant`
+  /// (hits/misses/resident bytes per P1–P4 partition; the last array slot
+  /// is the shared partition of classless entries).
+  [[nodiscard]] std::array<core::CacheEngine::ClassStats,
+                           core::CacheEngine::kPartitions>
+  tenant_class_stats(JobId tenant) const;
+
+  /// Recompute `tenant`'s per-class budgets from the hit rates its shards
+  /// observed (PolicyEngine::rebalance_class_budgets over the aggregated
+  /// ledger) and apply them to every shard: `total_per_shard` bytes split
+  /// across the four class partitions, `floor_per_shard` guaranteed each.
+  /// Returns the budgets applied.
+  std::array<units::Bytes, fed::kPolicyClassCount> rebalance_tenant_partitions(
+      JobId tenant, units::Bytes total_per_shard,
+      units::Bytes floor_per_shard);
+
   /// Aggregate single-flight statistics across every tenant's coalescer.
   [[nodiscard]] Coalescer::Stats coalescer_stats() const;
   /// Combined keep-alive cost of every shard's warm functions.

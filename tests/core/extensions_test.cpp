@@ -139,6 +139,40 @@ TEST(AdaptivePolicy, DeterministicGivenSeed) {
   }
 }
 
+TEST(AdaptivePolicy, SuggestedBudgetsFollowLearnedPressure) {
+  using units::MB;
+  AdaptivePolicySelector selector;
+  // P2: heavy traffic, poor hit rate -> the biggest claim on the bytes.
+  for (int i = 0; i < 30; ++i) selector.report(fed::PolicyClass::kP2, 0.1);
+  // P1: heavy traffic but already hitting -> little marginal value.
+  for (int i = 0; i < 30; ++i) selector.report(fed::PolicyClass::kP1, 0.95);
+  // P3: a few poor pulls; P4 never pulled.
+  for (int i = 0; i < 5; ++i) selector.report(fed::PolicyClass::kP3, 0.2);
+
+  const auto total = 1000 * MB;
+  const auto floor = 50 * MB;
+  const auto budgets = selector.suggest_budgets(total, floor);
+  units::Bytes sum = 0;
+  for (const auto b : budgets) {
+    EXPECT_GE(b, floor);
+    sum += b;
+  }
+  EXPECT_EQ(sum, total);
+  const auto of = [&](fed::PolicyClass c) {
+    return budgets[fed::class_index(c)];
+  };
+  EXPECT_GT(of(fed::PolicyClass::kP2), of(fed::PolicyClass::kP1));
+  EXPECT_GT(of(fed::PolicyClass::kP2), of(fed::PolicyClass::kP3));
+  EXPECT_EQ(of(fed::PolicyClass::kP4), floor);  // no pulls, no claim
+}
+
+TEST(AdaptivePolicy, SuggestedBudgetsSplitEvenlyBeforeAnyPull) {
+  using units::MB;
+  AdaptivePolicySelector selector;
+  const auto budgets = selector.suggest_budgets(400 * MB, 10 * MB);
+  for (const auto b : budgets) EXPECT_EQ(b, 100 * MB);
+}
+
 // --- foundation-model sharding ----------------------------------------------
 
 struct ShardingFixture : ::testing::Test {

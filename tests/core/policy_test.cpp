@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 #include "fed/fl_job.hpp"
@@ -32,6 +33,14 @@ fed::NonTrainingRequest req_of(fed::WorkloadType t, RoundId r,
 
 bool contains_key(const std::vector<MetadataKey>& keys, const MetadataKey& k) {
   return std::find(keys.begin(), keys.end(), k) != keys.end();
+}
+
+bool caches_key(const IngestPlan& plan, const MetadataKey& k,
+                std::optional<fed::PolicyClass> cls = std::nullopt) {
+  for (const auto& d : plan.cache) {
+    if (d.key == k) return !cls.has_value() || d.cls == *cls;
+  }
+  return false;
 }
 
 TEST(Policy, P2PlanPrefetchesNextRoundAndEvictsPrevious) {
@@ -105,11 +114,15 @@ TEST(Policy, IngestCachesLatestRoundAndWindows) {
   const auto rec = job.make_round(20);
   const auto plan = engine.plan_ingest(rec, job);
   for (const auto& u : rec.updates) {
-    EXPECT_TRUE(contains_key(plan.cache, MetadataKey::update(u.client, 20)));
-    EXPECT_TRUE(contains_key(plan.cache, MetadataKey::metrics(u.client, 20)));
+    EXPECT_TRUE(caches_key(plan, MetadataKey::update(u.client, 20),
+                           fed::PolicyClass::kP2));
+    EXPECT_TRUE(caches_key(plan, MetadataKey::metrics(u.client, 20),
+                           fed::PolicyClass::kP4));
   }
-  EXPECT_TRUE(contains_key(plan.cache, MetadataKey::aggregate(20)));
-  EXPECT_TRUE(contains_key(plan.cache, MetadataKey::metadata(20)));
+  EXPECT_TRUE(
+      caches_key(plan, MetadataKey::aggregate(20), fed::PolicyClass::kP1));
+  EXPECT_TRUE(
+      caches_key(plan, MetadataKey::metadata(20), fed::PolicyClass::kP4));
   // Evictions: round-18 updates, round-10 metadata (window 10).
   for (const auto c : job.participants(18)) {
     EXPECT_TRUE(contains_key(plan.evict, MetadataKey::update(c, 18)));
@@ -143,7 +156,8 @@ TEST(Policy, StaticModeUsesOneClassOnly) {
   // Ingest under P1-static caches only the aggregate.
   const auto plan = engine.plan_ingest(job.make_round(5), job);
   ASSERT_EQ(plan.cache.size(), 1U);
-  EXPECT_EQ(plan.cache.front(), MetadataKey::aggregate(5));
+  EXPECT_EQ(plan.cache.front().key, MetadataKey::aggregate(5));
+  EXPECT_EQ(plan.cache.front().cls, fed::PolicyClass::kP1);
   // Every request is treated as P1, even a P2 workload.
   EXPECT_EQ(engine.effective_class(
                 req_of(fed::WorkloadType::kMaliciousFilter, 5)),

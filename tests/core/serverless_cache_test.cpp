@@ -131,6 +131,40 @@ TEST_F(PoolFixture, EvictFreesSpaceOnAllReplicas) {
   EXPECT_EQ(pool.group_free(*g), 1 * GB);
 }
 
+TEST_F(PoolFixture, FirstFitChecksRoomOnEveryWarmReplica) {
+  // Regression: put() admitted a group on the *first* warm member's free
+  // space, then wrote to every warm replica — overflowing a fuller sibling
+  // when the replicas had drifted apart.
+  auto pool = make_pool(2);
+  const auto g = pool.put("a", blob(), 600 * MB);
+  ASSERT_TRUE(g.has_value());
+  // Drift: member 0 loses "a" (inconsistent eviction), member 1 keeps it.
+  ASSERT_TRUE(runtime.instance(0).evict_object("a"));
+  EXPECT_EQ(runtime.instance(0).free_bytes(), 1 * GB);
+  EXPECT_EQ(runtime.instance(1).free_bytes(), 400 * MB);
+  // 500 MB fits member 0 but not member 1: the group must be skipped and a
+  // fresh one spawned (the old code tripped put_object's fit invariant).
+  const auto g2 = pool.put("b", blob(), 500 * MB);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_NE(*g2, *g);
+  EXPECT_FALSE(runtime.instance(1).has_object("b"));
+  EXPECT_LE(runtime.instance(1).used(), 1 * GB);
+}
+
+TEST_F(PoolFixture, FirstFitStillRefreshesResidentObjects) {
+  auto pool = make_pool(2);
+  const auto g = pool.put("a", blob(1), 600 * MB);
+  ASSERT_TRUE(g.has_value());
+  ASSERT_TRUE(runtime.instance(0).evict_object("a"));
+  // Member 1 is full, but it already holds "a": a rewrite replaces in
+  // place, so the group still fits and member 0 gets its copy back.
+  const auto g2 = pool.put("a", blob(2), 600 * MB);
+  ASSERT_TRUE(g2.has_value());
+  EXPECT_EQ(*g2, *g);
+  EXPECT_TRUE(runtime.instance(0).has_object("a"));
+  EXPECT_TRUE(runtime.instance(1).has_object("a"));
+}
+
 TEST_F(PoolFixture, LocateRankMapsSpawnOrder) {
   auto pool = make_pool(2);
   (void)pool.put("a", blob(), 700 * MB);  // group 0: ranks 0,1

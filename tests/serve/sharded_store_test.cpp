@@ -271,5 +271,47 @@ TEST(ShardedStore, UnknownTenantThrows) {
   EXPECT_THROW((void)plane.store->serve({5, req}, 0.0), InvalidArgument);
 }
 
+// Per-class cache budgets plumb through add_tenant to every shard, bound
+// each partition's resident bytes, and show up in the tenant-level ledger.
+TEST(ShardedStore, ClassPartitionsPlumbThroughAndStayBounded) {
+  ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
+  fed::FLJob job(small_job(100));
+  ShardedStore store(cold, plane_config(0));
+  core::FLStoreConfig store_cfg;
+  const auto p2 = fed::class_index(fed::PolicyClass::kP2);
+  // Two updates' worth for P2: round ingests (6 updates each) must evict
+  // within the P2 partition from the first round on.
+  store_cfg.class_capacity[p2] = 2 * job.model().object_bytes;
+  const auto tenant = store.add_tenant(job, store_cfg, /*cache_shards=*/2);
+
+  std::vector<ServiceRequest> trace;
+  const auto mixes = std::vector<TenantMix>{{tenant, &job, 0.6, {}, 3}};
+  trace = open_loop_trace(open_loop(0.3, 300.0), mixes);
+  (void)store.replay(trace, 30.0);
+
+  const auto stats = store.tenant_class_stats(tenant);
+  // Each of the 2 shards is bounded separately.
+  EXPECT_LE(stats[p2].bytes, 2 * store_cfg.class_capacity[p2]);
+  EXPECT_EQ(stats[p2].budget, store_cfg.class_capacity[p2]);
+  EXPECT_GT(stats[p2].hits + stats[p2].misses, 0U);
+
+  // Rebalancing from the observed ledger: budgets sum to the target, every
+  // class keeps its floor, and the shards adopt them.
+  const auto total = 4 * job.model().object_bytes;
+  const auto floor = job.model().object_bytes / 4;
+  const auto budgets = store.rebalance_tenant_partitions(tenant, total, floor);
+  units::Bytes sum = 0;
+  for (const auto b : budgets) {
+    EXPECT_GE(b, floor);
+    sum += b;
+  }
+  EXPECT_EQ(sum, total);
+  const auto after = store.tenant_class_stats(tenant);
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    EXPECT_EQ(after[c].budget, budgets[c]);
+    EXPECT_LE(after[c].bytes, 2 * budgets[c]);
+  }
+}
+
 }  // namespace
 }  // namespace flstore::serve
