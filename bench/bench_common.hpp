@@ -1,10 +1,22 @@
 // Shared scaffolding for the benchmark binaries (DESIGN.md §4): every bench
 // prints a banner naming the paper artifact it regenerates, runs the
 // simulation, and closes with paper-vs-measured headlines.
+//
+// Common CLI (parse_args):
+//   --scale X     shrink rounds/request counts proportionally (CI smoke
+//                 runs; per-request quantities are unchanged)
+//   --json[=path] also write the headline metrics as BENCH_<name>.json —
+//                 the perf-trajectory artifact CI uploads per commit
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
@@ -17,12 +29,119 @@
 namespace flstore::bench {
 
 inline void banner(const char* artifact, const char* title) {
-  std::printf("\n================================================================\n");
+  std::printf("\n========================================================\n");
   std::printf("%s — %s\n", artifact, title);
-  std::printf("================================================================\n");
+  std::printf("========================================================\n");
 }
 
 inline void note(const char* text) { std::printf("%s\n", text); }
+
+struct Args {
+  double scale = 1.0;
+  bool json = false;
+  std::string json_path;  ///< empty = BENCH_<name>.json
+};
+
+inline Args parse_args(int argc, char** argv) {
+  Args args;
+  const auto set_scale = [&args](const char* text) {
+    char* end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0' || !(value > 0.0)) {
+      // Fail hard: a typoed scale must not turn a CI smoke run into the
+      // full 50-hour-trace bench (exiting 0 would hide it completely).
+      std::fprintf(stderr, "invalid --scale '%s'\n", text);
+      std::exit(2);
+    }
+    args.scale = value;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      set_scale(arg.c_str() + 8);
+    } else if (arg == "--scale") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--scale needs a value\n");
+        std::exit(2);
+      }
+      set_scale(argv[++i]);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.json = true;
+      args.json_path = arg.substr(7);
+    } else if (arg == "--json") {
+      args.json = true;
+    } else {
+      // Fatal for the same reason as a bad --scale value: a typoed flag
+      // must not silently run the full-size bench.
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Collects headline metrics and (with --json) writes them as the bench's
+/// BENCH_*.json artifact: {"bench", "scale", "metrics": [{name,value,unit}]}.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void add(const std::string& name, double value, std::string unit = "") {
+    metrics_.push_back(Metric{name, value, std::move(unit)});
+  }
+
+  /// The standard paper-vs-measured footer line, also recorded as a metric.
+  void headline(const std::string& what, double paper_value,
+                double measured_value, const std::string& unit) {
+    sim::print_headline(what, paper_value, measured_value, unit);
+    add(what, measured_value, unit);
+  }
+
+  /// Write the artifact when --json was given; returns the path ("" if
+  /// disabled). Non-finite values serialize as null (JSON has no NaN).
+  std::string write(const Args& args) const {
+    if (!args.json) return "";
+    const std::string path =
+        args.json_path.empty() ? "BENCH_" + bench_ + ".json" : args.json_path;
+    std::ofstream out(path);
+    out << "{\n  \"bench\": \"" << escaped(bench_) << "\",\n"
+        << "  \"scale\": " << args.scale << ",\n  \"metrics\": [\n";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const auto& m = metrics_[i];
+      out << "    {\"name\": \"" << escaped(m.name) << "\", \"value\": ";
+      if (std::isfinite(m.value)) {
+        out << m.value;
+      } else {
+        out << "null";
+      }
+      out << ", \"unit\": \"" << escaped(m.unit) << "\"}";
+      out << (i + 1 < metrics_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("\nwrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
+    return path;
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    std::string unit;
+  };
+
+  static std::string escaped(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Metric> metrics_;
+};
 
 /// The §5.1 evaluation scenario for one model. `scale` < 1 shrinks rounds
 /// and request counts proportionally (all benches default to full scale; a
@@ -46,6 +165,100 @@ inline std::string panel_label(const std::string& model) {
   if (model == "efficientnet_v2_s") return "EfficientNet";
   if (model == "swin_v2_t") return "SwinTransformer";
   return model;
+}
+
+// --- backend sweep (Figs 7/8/10/17) ---------------------------------------
+// The paper's FLStore-vs-ObjStore-vs-CloudCache curves, regenerated through
+// ONE code path: every row is core::FLStore::serve over a different
+// backend::StorageBackend. The "direct" rows disable the serverless cache
+// (capacity 1 byte: nothing fits, every request runs against the cold
+// backend), so what they measure is the raw data plane — exactly the
+// baselines' bottleneck, minus any code divergence.
+
+struct BackendSweepRow {
+  std::string label;
+  backend::BackendKind kind = backend::BackendKind::kObjectStore;
+  bool cached = false;  ///< serverless cache in front of the backend
+  sim::RunResult run;
+  double idle_usd_per_hour = 0.0;  ///< backend + function keep-alive
+};
+
+inline std::vector<BackendSweepRow> run_backend_sweep(
+    sim::Scenario& sc, const std::vector<fed::NonTrainingRequest>& trace) {
+  struct Cell {
+    const char* label;
+    backend::BackendKind kind;
+    bool cached;
+  };
+  const Cell cells[] = {
+      {"FLStore (cache + objstore cold)", backend::BackendKind::kObjectStore,
+       true},
+      {"direct object store", backend::BackendKind::kObjectStore, false},
+      {"direct cloud cache", backend::BackendKind::kCloudCache, false},
+      {"direct local SSD", backend::BackendKind::kLocalSsd, false},
+  };
+  std::vector<BackendSweepRow> rows;
+  for (const auto& cell : cells) {
+    auto cold = sc.make_cold_backend(cell.kind);
+    auto fl = sc.make_flstore_over(*cold,
+                                   cell.cached ? core::PolicyMode::kTailored
+                                               : core::PolicyMode::kLru,
+                                   cell.cached ? units::Bytes{0}
+                                               : units::Bytes{1});
+    auto adapter = sim::adapt(*fl);
+    BackendSweepRow row;
+    row.label = cell.label;
+    row.kind = cell.kind;
+    row.cached = cell.cached;
+    row.run = sim::run_trace(*adapter, sc.job(), trace,
+                             sc.config().duration_s,
+                             sc.config().round_interval_s);
+    row.idle_usd_per_hour =
+        cold->idle_cost(3600.0) + fl->infrastructure_cost(3600.0);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Mean serving latency / cost of a sweep row (table, JSON metrics, and
+/// the benches' paper-ordering headlines all go through these). max(1, …):
+/// a degenerate --scale can yield an empty trace; means of 0 beat NaN rows
+/// and a bogus ordering verdict.
+inline double sweep_mean_latency(const BackendSweepRow& row) {
+  return row.run.total_latency_s() /
+         static_cast<double>(std::max<std::size_t>(1, row.run.records.size()));
+}
+inline double sweep_mean_cost(const BackendSweepRow& row) {
+  return row.run.total_serving_usd() /
+         static_cast<double>(std::max<std::size_t>(1, row.run.records.size()));
+}
+
+/// Shared sweep table + JSON metrics; benches call this after their own
+/// figure-specific output. Returns the rows for headline checks.
+inline std::vector<BackendSweepRow> print_backend_sweep(
+    sim::Scenario& sc, const std::vector<fed::NonTrainingRequest>& trace,
+    JsonReport& report) {
+  note("\nCold-backend sweep — every row is core::FLStore::serve over a\n"
+       "backend::StorageBackend; the direct rows disable the serverless\n"
+       "cache, so they measure the raw data plane (the paper's baselines,\n"
+       "one code path):");
+  auto rows = run_backend_sweep(sc, trace);
+  Table table({"serving path", "mean lat (s)", "mean $/req", "hits", "misses",
+               "idle $/h"});
+  for (const auto& row : rows) {
+    table.add_row({row.label, fmt(sweep_mean_latency(row), 3),
+                   fmt_usd(sweep_mean_cost(row)),
+                   std::to_string(row.run.total_hits()),
+                   std::to_string(row.run.total_misses()),
+                   fmt_usd(row.idle_usd_per_hour)});
+    const std::string prefix = "sweep/" + std::string(to_string(row.kind)) +
+                               (row.cached ? "+cache" : "");
+    report.add(prefix + "/mean_latency_s", sweep_mean_latency(row), "s");
+    report.add(prefix + "/mean_cost_usd", sweep_mean_cost(row), "$");
+    report.add(prefix + "/idle_usd_per_hour", row.idle_usd_per_hour, "$/h");
+  }
+  std::printf("%s", table.to_string().c_str());
+  return rows;
 }
 
 }  // namespace flstore::bench

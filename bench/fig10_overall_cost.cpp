@@ -9,11 +9,14 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig10");
   bench::banner("Figure 10",
                 "Overall per-round FL cost with and without FLStore");
 
-  sim::ScenarioConfig cfg = bench::paper_scenario("efficientnet_v2_s", 0.2);
+  sim::ScenarioConfig cfg =
+      bench::paper_scenario("efficientnet_v2_s", 0.2 * args.scale);
   cfg.pool_size = 200;
   sim::Scenario sc(cfg);
   const auto trace = sc.trace();
@@ -49,13 +52,30 @@ int main() {
   }
   std::printf("%s", table.to_string().c_str());
 
+  // Backend sweep: the non-training cost share per round for each cold
+  // backend, one code path. Requests-per-round converts $/request into the
+  // figure's $/round share.
+  const auto rows = bench::print_backend_sweep(sc, trace, report);
+  const double req_per_round =
+      static_cast<double>(cfg.total_requests) /
+      static_cast<double>(cfg.rounds > 0 ? cfg.rounds : 1);
+  Table round_share({"cold backend", "non-training $/round",
+                     "total $/round (with training)"});
+  for (const auto& row : rows) {
+    const double share = bench::sweep_mean_cost(row) * req_per_round;
+    round_share.add_row({row.label, fmt_usd(share),
+                         fmt_usd(train_cost + share)});
+    report.add("round_share/" + row.label, share, "$");
+  }
+  std::printf("\n%s", round_share.to_string().c_str());
+
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("debugging workload cost before", 0.099,
-                      debugging_before, "$");
-  sim::print_headline("debugging workload cost after", 0.004,
-                      debugging_after, "$");
-  sim::print_headline("debugging workload cost reduction", 96.4,
-                      percent_reduction(debugging_before, debugging_after),
-                      "%");
+  report.headline("debugging workload cost before", 0.099, debugging_before,
+                  "$");
+  report.headline("debugging workload cost after", 0.004, debugging_after,
+                  "$");
+  report.headline("debugging workload cost reduction", 96.4,
+                  percent_reduction(debugging_before, debugging_after), "%");
+  report.write(args);
   return 0;
 }

@@ -7,11 +7,13 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig17");
   bench::banner("Figure 17",
                 "Cache-Agg vs FLStore totals over 50 h / 3000 requests");
 
-  auto cfg = bench::paper_scenario("efficientnet_v2_s");
+  auto cfg = bench::paper_scenario("efficientnet_v2_s", args.scale);
   cfg.workloads = fed::cacheagg_workloads();
   sim::Scenario sc(cfg);
   const auto trace = sc.trace();
@@ -43,15 +45,32 @@ int main() {
   }
   std::printf("%s", table.to_string().c_str());
 
+  // Backend sweep over the same cache-workload trace: accumulated time and
+  // cost (idle fees included — the cloud cache's node-hours are its story).
+  const auto rows = bench::print_backend_sweep(sc, trace, report);
+  Table totals({"cold backend", "total time (h)",
+                "serving + idle cost ($, whole window)"});
+  for (const auto& row : rows) {
+    const double idle_usd = row.idle_usd_per_hour * cfg.duration_s / 3600.0;
+    totals.add_row({row.label, fmt(row.run.total_latency_s() / 3600.0, 3),
+                    fmt(row.run.total_serving_usd() + idle_usd, 2)});
+    report.add("totals/" + row.label + "/cost_usd",
+               row.run.total_serving_usd() + idle_usd, "$");
+  }
+  std::printf("\n%s", totals.to_string().c_str());
+
   const double hours_saved =
       (ca_run.total_latency_s() - fl_run.total_latency_s()) / 3600.0;
-  const double ca_total = ca_run.total_serving_usd() + ca_run.infrastructure_usd;
-  const double fl_total = fl_run.total_serving_usd() + fl_run.infrastructure_usd;
+  const double ca_total =
+      ca_run.total_serving_usd() + ca_run.infrastructure_usd;
+  const double fl_total =
+      fl_run.total_serving_usd() + fl_run.infrastructure_usd;
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("accumulated hours saved", 191.65, hours_saved, "h");
-  sim::print_headline("total cost reduction", 99.0,
-                      percent_reduction(ca_total, fl_total), "%");
-  sim::print_headline("accumulated dollars saved", 7047.16,
-                      ca_total - fl_total, "$");
+  report.headline("accumulated hours saved", 191.65, hours_saved, "h");
+  report.headline("total cost reduction", 99.0,
+                  percent_reduction(ca_total, fl_total), "%");
+  report.headline("accumulated dollars saved", 7047.16, ca_total - fl_total,
+                  "$");
+  report.write(args);
   return 0;
 }

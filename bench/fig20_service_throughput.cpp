@@ -51,7 +51,15 @@ serve::OpenLoopConfig load(double qps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto args = bench::parse_args(argc, argv);
+  if (args.scale != 1.0) {
+    // This figure's load/duration are fixed (saturation points depend on
+    // them); don't let the JSON artifact claim a scale that never applied.
+    std::fprintf(stderr, "fig20 ignores --scale; running full-size\n");
+    args.scale = 1.0;
+  }
+  bench::JsonReport report("fig20");
   bench::banner("Figure 20 (extension)",
                 "Service throughput under offered load (src/serve/)");
 
@@ -232,11 +240,23 @@ int main() {
       "  sustained throughput at 1 qps offered: %.2f qps on 1 shard -> "
       "%.2f qps on 4 (%.2fx)\n",
       tput_1shard, tput_4shard, tput_4shard / tput_1shard);
-  std::printf("  p95 latency 1 -> 4 shards at 1 qps offered: %.1f s -> %.1f s\n",
-              p95_1shard, p95_4shard);
+  std::printf(
+      "  p95 latency 1 -> 4 shards at 1 qps offered: %.1f s -> %.1f s\n",
+      p95_1shard, p95_4shard);
   std::printf("  coalescing cut cold-store GETs by %.1f%% and cost by %.1f%%\n",
               100.0 * (1.0 - double(gets_with) / double(gets_without)),
               100.0 * (1.0 - cost_with / cost_without));
+  report.add("throughput_1shard_qps", tput_1shard, "qps");
+  report.add("throughput_4shard_qps", tput_4shard, "qps");
+  report.add("p95_1shard_s", p95_1shard, "s");
+  report.add("p95_4shard_s", p95_4shard, "s");
+  report.add("coalescing_get_reduction_pct",
+             100.0 * (1.0 - double(gets_with) / double(gets_without)), "%");
+  report.add("coalescing_cost_reduction_pct",
+             100.0 * (1.0 - cost_with / cost_without), "%");
+  report.add("bounded_cache_hit_rate_shared", plain_hit_rate);
+  report.add("bounded_cache_hit_rate_partitioned", part_hit_rate);
+  report.write(args);
   bench::note(
       "\nShape check: at 1 qps a single shard saturates — throughput falls\n"
       "below the offered rate and p95 is pure queueing. Four hash-routed\n"

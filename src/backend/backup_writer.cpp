@@ -1,0 +1,53 @@
+#include "backend/backup_writer.hpp"
+
+#include <utility>
+
+namespace flstore::backend {
+
+BackupWriter::BackupWriter(StorageBackend& backend, CostMeter& meter,
+                           Config config)
+    : backend_(&backend), meter_(&meter), config_(config) {}
+
+void BackupWriter::enqueue(std::string name, Blob blob,
+                           units::Bytes logical_bytes, double now) {
+  bool drain = false;
+  {
+    const std::scoped_lock lock(mu_);
+    pending_.push_back(
+        PutRequest{std::move(name), std::move(blob), logical_bytes});
+    ++stats_.enqueued;
+    drain = config_.max_batch > 0 && pending_.size() >= config_.max_batch;
+  }
+  if (drain) (void)flush(now);
+}
+
+std::size_t BackupWriter::flush(double now) {
+  std::vector<PutRequest> batch;
+  {
+    const std::scoped_lock lock(mu_);
+    if (pending_.empty()) return 0;
+    batch.swap(pending_);
+  }
+  const auto batch_size = batch.size();
+  const auto res = backend_->put_batch(std::move(batch), now);
+  meter_->charge(CostCategory::kStorageService, res.request_fee_usd);
+  const std::scoped_lock lock(mu_);
+  ++stats_.flushes;
+  stats_.objects_written += res.stored;
+  stats_.rejected += batch_size - res.stored;
+  stats_.fees_usd += res.request_fee_usd;
+  stats_.write_latency_s += res.latency_s;
+  return res.stored;
+}
+
+std::size_t BackupWriter::pending() const {
+  const std::scoped_lock lock(mu_);
+  return pending_.size();
+}
+
+BackupWriter::Stats BackupWriter::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace flstore::backend

@@ -1,0 +1,75 @@
+// BackupWriter — async batched cold-tier backup.
+//
+// FLStore's ingest path used to issue one synchronous cold-store put per
+// round object: N first-byte round trips per round, interleaved with the
+// cache write-allocation. The BackupWriter decouples the two: ingest
+// *enqueues* objects and the writer drains them through the backend's
+// batched multi-put — one admission, one streamed transfer per batch. The
+// cold store's *contents* are byte-identical to the inline path (regression
+// tested); only the write schedule changes. Request fees are charged to the
+// meter at flush time (same totals: backends keep per-object PUT fees).
+//
+// Batches drain when pending reaches max_batch or on an explicit flush();
+// FLStore flushes at the end of every ingest so a request can never miss on
+// an object the round already produced.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backend/storage_backend.hpp"
+#include "cloud/cost_meter.hpp"
+
+namespace flstore::backend {
+
+class BackupWriter {
+ public:
+  struct Config {
+    /// Auto-flush threshold; 0 = drain only on explicit flush().
+    std::size_t max_batch = 64;
+  };
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t flushes = 0;          ///< non-empty drains
+    std::uint64_t objects_written = 0;
+    /// Objects a capacity-bounded backend refused. A cold tier that drops
+    /// backups serves NotFound on the next miss for them — provision the
+    /// backend auto-scaled or tiered over an unbounded store (the default)
+    /// and treat a nonzero count as a deployment error.
+    std::uint64_t rejected = 0;
+    double fees_usd = 0.0;
+    double write_latency_s = 0.0;  ///< streamed batch time (off the request
+                                   ///< path; a health metric, not a charge)
+  };
+
+  /// Fees accrue to `meter` (FLStore passes its infrastructure meter —
+  /// backups are not attributable to one request). Both referents must
+  /// outlive the writer.
+  BackupWriter(StorageBackend& backend, CostMeter& meter, Config config);
+  BackupWriter(StorageBackend& backend, CostMeter& meter)
+      : BackupWriter(backend, meter, Config{}) {}
+
+  /// Queue one object for backup. Triggers an auto-flush at max_batch.
+  void enqueue(std::string name, Blob blob, units::Bytes logical_bytes,
+               double now);
+
+  /// Drain everything pending through one batched multi-put. Returns the
+  /// number of objects written.
+  std::size_t flush(double now);
+
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  StorageBackend* backend_;
+  CostMeter* meter_;
+  Config config_;
+  mutable std::mutex mu_;
+  std::vector<PutRequest> pending_;
+  Stats stats_;
+};
+
+}  // namespace flstore::backend

@@ -1,0 +1,166 @@
+#include "backend/cloud_cache_backend.hpp"
+
+#include "common/error.hpp"
+
+namespace flstore::backend {
+
+CloudCacheBackend::CloudCacheBackend(Config config,
+                                     const PricingCatalog& pricing)
+    : config_(config),
+      pricing_(&pricing),
+      throttle_(config.throttle),
+      nodes_(config.nodes) {
+  FLSTORE_CHECK(config.nodes >= 1);
+}
+
+void CloudCacheBackend::evict_lru_locked() {
+  FLSTORE_CHECK(!lru_.empty());
+  const std::string victim = lru_.back();
+  lru_.pop_back();
+  const auto it = entries_.find(victim);
+  FLSTORE_CHECK(it != entries_.end());
+  FLSTORE_CHECK(used_ >= it->second.logical_bytes);
+  used_ -= it->second.logical_bytes;
+  entries_.erase(it);
+  ++evictions_;
+}
+
+bool CloudCacheBackend::store_locked(const std::string& name,
+                                     std::shared_ptr<const Blob> blob,
+                                     units::Bytes logical_bytes) {
+  // Reject an object that can never fit *before* touching any existing
+  // version: a refused overwrite must not destroy the stored one.
+  if (!config_.auto_scale && logical_bytes > capacity_locked()) return false;
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    used_ -= it->second.logical_bytes;
+    lru_.erase(it->second.lru_pos);
+    entries_.erase(it);
+  }
+  if (config_.auto_scale) {
+    while (used_ + logical_bytes > capacity_locked()) ++nodes_;
+  } else {
+    while (used_ + logical_bytes > capacity_locked()) evict_lru_locked();
+  }
+  lru_.push_front(name);
+  entries_.emplace(name, Entry{std::move(blob), logical_bytes, lru_.begin()});
+  used_ += logical_bytes;
+  return true;
+}
+
+PutResult CloudCacheBackend::put(const std::string& name, Blob blob,
+                                 units::Bytes logical_bytes, double now) {
+  const units::Bytes logical = effective_logical(blob, logical_bytes);
+  PutResult res;
+  res.latency_s = config_.link.transfer_time(logical);
+  const std::scoped_lock lock(mu_);
+  res.latency_s += admit_throttled(throttle_, stats_, now);
+  res.accepted =
+      store_locked(name, std::make_shared<const Blob>(std::move(blob)),
+                   logical);
+  ++stats_.puts;
+  if (res.accepted) {
+    stats_.bytes_written += logical;
+  } else {
+    ++stats_.rejected_puts;
+  }
+  return res;
+}
+
+BatchPutResult CloudCacheBackend::put_batch(std::vector<PutRequest> batch,
+                                            double now) {
+  BatchPutResult res;
+  res.accepted.reserve(batch.size());
+  units::Bytes total = 0;
+  const std::scoped_lock lock(mu_);
+  res.latency_s += admit_throttled(throttle_, stats_, now);
+  for (auto& item : batch) {
+    const units::Bytes logical =
+        effective_logical(item.blob, item.logical_bytes);
+    const bool accepted = store_locked(
+        item.name, std::make_shared<const Blob>(std::move(item.blob)),
+        logical);
+    res.accepted.push_back(accepted);
+    ++stats_.puts;
+    if (!accepted) {
+      ++stats_.rejected_puts;
+      continue;
+    }
+    ++res.stored;
+    total += logical;
+  }
+  res.latency_s += config_.link.transfer_time(total);
+  ++stats_.batches;
+  stats_.bytes_written += total;
+  return res;
+}
+
+GetResult CloudCacheBackend::get(const std::string& name, double now) {
+  GetResult res;
+  const std::scoped_lock lock(mu_);
+  res.latency_s += admit_throttled(throttle_, stats_, now);
+  ++stats_.gets;
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    res.latency_s += config_.link.first_byte_latency_s;
+    return res;
+  }
+  // Touch for LRU.
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  it->second.lru_pos = lru_.begin();
+  res.found = true;
+  res.blob = it->second.blob;
+  res.logical_bytes = it->second.logical_bytes;
+  res.latency_s += config_.link.transfer_time(it->second.logical_bytes);
+  stats_.bytes_read += res.logical_bytes;
+  return res;
+}
+
+bool CloudCacheBackend::remove(const std::string& name, double now) {
+  (void)now;
+  const std::scoped_lock lock(mu_);
+  ++stats_.removes;
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  used_ -= it->second.logical_bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  return true;
+}
+
+bool CloudCacheBackend::contains(const std::string& name) const {
+  const std::scoped_lock lock(mu_);
+  return entries_.contains(name);
+}
+
+units::Bytes CloudCacheBackend::stored_logical_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return used_;
+}
+
+units::Bytes CloudCacheBackend::capacity_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return config_.auto_scale ? 0 : capacity_locked();
+}
+
+double CloudCacheBackend::idle_cost(double seconds) const {
+  const std::scoped_lock lock(mu_);
+  return pricing_->cache_nodes_cost(nodes_, seconds);
+}
+
+OpStats CloudCacheBackend::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+int CloudCacheBackend::nodes() const {
+  const std::scoped_lock lock(mu_);
+  return nodes_;
+}
+
+std::uint64_t CloudCacheBackend::evictions() const {
+  const std::scoped_lock lock(mu_);
+  return evictions_;
+}
+
+}  // namespace flstore::backend

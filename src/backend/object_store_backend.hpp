@@ -1,0 +1,55 @@
+// ObjectStoreBackend — the cloud object store (S3/MinIO) as a StorageBackend.
+//
+// A thin adapter over the existing ObjectStore: identical per-op latencies
+// and request fees (the legacy FLStore(ObjectStore&) constructor wraps one
+// of these and reproduces the old numbers bit-for-bit), plus the interface's
+// batched multi-put (one streamed transfer instead of per-object round
+// trips — S3 still charges every PUT), optional admission throttling, and
+// the op ledger. idle_cost() is the GB-month storage fee.
+#pragma once
+
+#include <mutex>
+
+#include "backend/storage_backend.hpp"
+
+namespace flstore::backend {
+
+class ObjectStoreBackend final : public StorageBackend {
+ public:
+  struct Config {
+    Throttle::Config throttle;  ///< ops_per_s = 0: unthrottled (default)
+  };
+
+  /// Non-owning: `store` is the shared persistent tier and must outlive the
+  /// backend (same lifetime contract core::FLStore already had).
+  explicit ObjectStoreBackend(ObjectStore& store, Config config = {})
+      : store_(&store), config_(config), throttle_(config.throttle) {}
+
+  PutResult put(const std::string& name, Blob blob, units::Bytes logical_bytes,
+                double now) override;
+  BatchPutResult put_batch(std::vector<PutRequest> batch, double now) override;
+  GetResult get(const std::string& name, double now) override;
+  bool remove(const std::string& name, double now) override;
+  [[nodiscard]] bool contains(const std::string& name) const override;
+  [[nodiscard]] units::Bytes stored_logical_bytes() const override;
+  [[nodiscard]] units::Bytes capacity_bytes() const override { return 0; }
+  [[nodiscard]] double idle_cost(double seconds) const override;
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kObjectStore;
+  }
+  [[nodiscard]] std::string name() const override { return "object-store"; }
+  [[nodiscard]] OpStats stats() const override;
+
+  [[nodiscard]] ObjectStore& store() noexcept { return *store_; }
+
+ private:
+  double admit(double now);
+
+  ObjectStore* store_;
+  Config config_;
+  mutable std::mutex mu_;  ///< guards throttle_ and stats_
+  Throttle throttle_;
+  OpStats stats_;
+};
+
+}  // namespace flstore::backend

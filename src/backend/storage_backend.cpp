@@ -1,0 +1,36 @@
+#include "backend/storage_backend.hpp"
+
+#include <algorithm>
+
+namespace flstore::backend {
+
+double Throttle::admit(double now) {
+  if (!enabled()) return 0.0;
+  if (now > last_s_) {
+    tokens_ = std::min(config_.burst_ops,
+                       tokens_ + (now - last_s_) * config_.ops_per_s);
+    last_s_ = now;
+  }
+  tokens_ -= 1.0;
+  if (tokens_ >= 0.0) return 0.0;
+  // The op executes once its token accrues; the bucket stays in debt so a
+  // sustained overload queues linearly (virtual-time leaky bucket).
+  return -tokens_ / config_.ops_per_s;
+}
+
+BatchPutResult StorageBackend::put_batch(std::vector<PutRequest> batch,
+                                         double now) {
+  BatchPutResult res;
+  res.accepted.reserve(batch.size());
+  for (auto& item : batch) {
+    const auto put_res =
+        put(item.name, std::move(item.blob), item.logical_bytes, now);
+    res.accepted.push_back(put_res.accepted);
+    if (put_res.accepted) ++res.stored;
+    res.latency_s += put_res.latency_s;
+    res.request_fee_usd += put_res.request_fee_usd;
+  }
+  return res;
+}
+
+}  // namespace flstore::backend

@@ -1,0 +1,353 @@
+#include "backend/tiered_cold_store.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace flstore::backend {
+
+TieredColdStore::TieredColdStore(std::vector<StorageBackend*> tiers,
+                                 Config config)
+    : config_(config), tiers_(std::move(tiers)) {
+  FLSTORE_CHECK(!tiers_.empty());
+  for (const auto* tier : tiers_) FLSTORE_CHECK(tier != nullptr);
+}
+
+PutResult TieredColdStore::put(const std::string& name, Blob blob,
+                               units::Bytes logical_bytes, double now) {
+  const units::Bytes logical = effective_logical(blob, logical_bytes);
+  PutResult res;
+  if (config_.write_mode == WriteMode::kWriteBack) {
+    // The fastest tier with room absorbs the write. Unless that was the
+    // deepest (durable) tier itself, the object is dirty: flush() owes it
+    // to the deepest tier — a fast-tier *refusal* never loses an object a
+    // durable tier below had room for. (A bounded fast tier *evicting* a
+    // dirty object before flush is the write-back crash window; see
+    // dropped_dirty_count().)
+    for (std::size_t i = 0; i < tiers_.size(); ++i) {
+      res = tiers_[i]->put(name, i + 1 == tiers_.size() ? std::move(blob)
+                                                        : Blob(blob),
+                           logical, now);
+      if (!res.accepted) continue;
+      // Tiers that refused this overwrite may still hold the previous
+      // version; drop those copies or reads would serve stale bytes (and
+      // flush would drain them over the newer one).
+      for (std::size_t k = 0; k < i; ++k) (void)tiers_[k]->remove(name, now);
+      const std::scoped_lock lock(mu_);
+      if (i + 1 < tiers_.size()) {
+        dirty_.insert(name);
+      } else {
+        // Landed durable directly; an earlier fast-tier version may have
+        // left a dirty marker — clear it or flush() reports a false drop.
+        dirty_.erase(name);
+      }
+      break;
+    }
+    const std::scoped_lock lock(mu_);
+    ++stats_.puts;
+    if (!res.accepted) ++stats_.rejected_puts;
+    stats_.bytes_written += res.accepted ? logical : 0;
+    stats_.fees_usd += res.request_fee_usd;
+    return res;
+  }
+  // Write-through: every tier gets a copy. The caller waits only for the
+  // fastest accepting stream; the rest complete asynchronously but their
+  // fees are real. Authoritative durability comes from the deepest tier,
+  // so the overall write is accepted iff the last tier accepted. A tier
+  // that refuses an overwrite drops its old copy — a tier either holds
+  // the current version or nothing.
+  double fastest = 0.0;
+  double last = 0.0;
+  bool any = false;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    auto tier_res = tiers_[i]->put(name, i + 1 == tiers_.size()
+                                             ? std::move(blob)
+                                             : Blob(blob),
+                                   logical, now);
+    res.request_fee_usd += tier_res.request_fee_usd;
+    last = tier_res.latency_s;
+    if (i + 1 == tiers_.size()) res.accepted = tier_res.accepted;
+    if (tier_res.accepted) {
+      if (!any || tier_res.latency_s < fastest) {
+        fastest = tier_res.latency_s;
+        any = true;
+      }
+    } else {
+      (void)tiers_[i]->remove(name, now);
+    }
+  }
+  // All tiers full and fixed: the bytes still travelled to the deepest one.
+  res.latency_s = any ? fastest : last;
+  const std::scoped_lock lock(mu_);
+  ++stats_.puts;
+  if (!res.accepted) ++stats_.rejected_puts;
+  stats_.bytes_written += any ? logical : 0;
+  stats_.fees_usd += res.request_fee_usd;
+  return res;
+}
+
+BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
+                                          double now) {
+  BatchPutResult res;
+  if (config_.write_mode == WriteMode::kWriteBack) {
+    std::vector<PutRequest> copy;
+    copy.reserve(batch.size());
+    for (const auto& item : batch) {
+      copy.push_back(PutRequest{item.name, item.blob, item.logical_bytes});
+    }
+    res = tiers_.front()->put_batch(std::move(copy), now);
+    res.accepted.resize(batch.size(), false);
+    units::Bytes written = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      auto& item = batch[i];
+      const units::Bytes logical =
+          effective_logical(item.blob, item.logical_bytes);
+      if (res.accepted[i]) {
+        // In the fast tier; durability in the deepest tier owed to flush().
+        written += logical;
+        if (tiers_.size() > 1) {
+          const std::scoped_lock lock(mu_);
+          dirty_.insert(item.name);
+        }
+        continue;
+      }
+      // Fast tier refused: fall through tier by tier exactly like the
+      // single-put path — first accepting tier holds it, dirty unless that
+      // tier was the deepest, stale copies above it dropped.
+      for (std::size_t j = 1; j < tiers_.size(); ++j) {
+        const auto deep =
+            tiers_[j]->put(item.name,
+                           j + 1 == tiers_.size() ? std::move(item.blob)
+                                                  : Blob(item.blob),
+                           logical, now);
+        res.request_fee_usd += deep.request_fee_usd;
+        if (!deep.accepted) continue;
+        for (std::size_t k = 0; k < j; ++k) {
+          (void)tiers_[k]->remove(item.name, now);
+        }
+        res.accepted[i] = true;
+        ++res.stored;
+        written += logical;
+        // The fall-through stream is part of this batch's write time.
+        res.latency_s = std::max(res.latency_s, deep.latency_s);
+        {
+          const std::scoped_lock lock(mu_);
+          if (j + 1 < tiers_.size()) {
+            dirty_.insert(item.name);
+          } else {
+            dirty_.erase(item.name);  // durable now; see put()
+          }
+        }
+        break;
+      }
+    }
+    const std::scoped_lock lock(mu_);
+    ++stats_.batches;
+    // `puts` counts attempts, like the single-put path and every backend.
+    stats_.puts += batch.size();
+    stats_.rejected_puts += batch.size() - res.stored;
+    stats_.bytes_written += written;
+    stats_.fees_usd += res.request_fee_usd;
+    return res;
+  }
+  for (auto& item : batch) {
+    item.logical_bytes = effective_logical(item.blob, item.logical_bytes);
+  }
+  // Names + sizes survive the final move of the batch into the last tier.
+  std::vector<std::string> names;
+  std::vector<units::Bytes> logicals;
+  names.reserve(batch.size());
+  logicals.reserve(batch.size());
+  for (const auto& item : batch) {
+    names.push_back(item.name);
+    logicals.push_back(item.logical_bytes);
+  }
+  double fastest = 0.0;
+  double last = 0.0;
+  bool any = false;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    std::vector<PutRequest> copy;
+    if (i + 1 < tiers_.size()) {
+      copy.reserve(batch.size());
+      for (const auto& item : batch) {
+        copy.push_back(PutRequest{item.name, item.blob, item.logical_bytes});
+      }
+    } else {
+      copy = std::move(batch);
+    }
+    auto tier_res = tiers_[i]->put_batch(std::move(copy), now);
+    res.request_fee_usd += tier_res.request_fee_usd;
+    last = tier_res.latency_s;
+    // A tier that refused an overwrite drops its old copy (see put()).
+    if (tier_res.stored < names.size()) {
+      for (std::size_t k = 0; k < names.size(); ++k) {
+        if (k >= tier_res.accepted.size() || !tier_res.accepted[k]) {
+          (void)tiers_[i]->remove(names[k], now);
+        }
+      }
+    }
+    // The caller waits for the fastest tier that accepted anything.
+    if (tier_res.stored > 0 && (!any || tier_res.latency_s < fastest)) {
+      fastest = tier_res.latency_s;
+      any = true;
+    }
+    if (i + 1 == tiers_.size()) {
+      res.stored = tier_res.stored;
+      res.accepted = std::move(tier_res.accepted);
+    }
+  }
+  res.latency_s = any ? fastest : last;
+  units::Bytes written = 0;
+  for (std::size_t k = 0; k < names.size(); ++k) {
+    if (k < res.accepted.size() && res.accepted[k]) written += logicals[k];
+  }
+  const std::scoped_lock lock(mu_);
+  ++stats_.batches;
+  stats_.puts += names.size();
+  stats_.rejected_puts += names.size() - res.stored;
+  stats_.bytes_written += written;
+  stats_.fees_usd += res.request_fee_usd;
+  return res;
+}
+
+GetResult TieredColdStore::get(const std::string& name, double now) {
+  GetResult res;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    auto tier_res = tiers_[i]->get(name, now + res.latency_s);
+    res.latency_s += tier_res.latency_s;
+    res.request_fee_usd += tier_res.request_fee_usd;
+    if (!tier_res.found) continue;
+    res.found = true;
+    res.blob = std::move(tier_res.blob);
+    res.logical_bytes = tier_res.logical_bytes;
+    if (config_.promote_on_hit && i > 0 && res.blob != nullptr) {
+      // Async promotion into the faster tiers: fees accrue, the request
+      // does not wait.
+      for (std::size_t j = 0; j < i; ++j) {
+        const auto promo =
+            tiers_[j]->put(name, Blob(*res.blob), res.logical_bytes, now);
+        res.request_fee_usd += promo.request_fee_usd;
+      }
+    }
+    break;
+  }
+  const std::scoped_lock lock(mu_);
+  ++stats_.gets;
+  stats_.bytes_read += res.found ? res.logical_bytes : 0;
+  stats_.fees_usd += res.request_fee_usd;
+  return res;
+}
+
+bool TieredColdStore::remove(const std::string& name, double now) {
+  bool removed = false;
+  for (auto* tier : tiers_) removed = tier->remove(name, now) || removed;
+  const std::scoped_lock lock(mu_);
+  dirty_.erase(name);
+  ++stats_.removes;
+  return removed;
+}
+
+bool TieredColdStore::contains(const std::string& name) const {
+  return std::any_of(
+      tiers_.begin(), tiers_.end(),
+      [&](const StorageBackend* t) { return t->contains(name); });
+}
+
+units::Bytes TieredColdStore::stored_logical_bytes() const {
+  return tiers_.back()->stored_logical_bytes();
+}
+
+units::Bytes TieredColdStore::capacity_bytes() const {
+  return tiers_.back()->capacity_bytes();
+}
+
+double TieredColdStore::idle_cost(double seconds) const {
+  double total = 0.0;
+  for (const auto* tier : tiers_) total += tier->idle_cost(seconds);
+  return total;
+}
+
+std::string TieredColdStore::name() const {
+  std::string composed = "tiered(";
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    if (i > 0) composed += " -> ";
+    composed += tiers_[i]->name();
+  }
+  composed += ")";
+  return composed;
+}
+
+OpStats TieredColdStore::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+StorageBackend::FlushResult TieredColdStore::flush(double now) {
+  FlushResult result;
+  std::vector<std::string> drain;
+  {
+    const std::scoped_lock lock(mu_);
+    drain.assign(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+  }
+  if (drain.empty() || tiers_.size() < 2) return result;
+  // Deterministic drain order regardless of hash-set iteration.
+  std::sort(drain.begin(), drain.end());
+  // Each dirty object is read from the shallowest tier still holding it.
+  // Drain reads go through the tier's normal read path on purpose: a real
+  // drain does occupy the device/endpoint, so the reads belong in its op
+  // ledger (and its LRU recency — flushing keeps dirty data warm).
+  std::vector<PutRequest> staged;
+  std::vector<std::string> staged_names;  ///< survives the batch move below
+  staged.reserve(drain.size());
+  staged_names.reserve(drain.size());
+  for (const auto& dirty_name : drain) {
+    bool found = false;
+    for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
+      if (!tiers_[i]->contains(dirty_name)) continue;
+      auto got = tiers_[i]->get(dirty_name, now);
+      if (!got.found) break;
+      result.request_fee_usd += got.request_fee_usd;
+      staged.push_back(
+          PutRequest{dirty_name, Blob(*got.blob), got.logical_bytes});
+      staged_names.push_back(dirty_name);
+      found = true;
+      break;
+    }
+    if (!found) {
+      // Evicted from every caching tier before the drain: the bytes are
+      // gone — write-back's crash-consistency window. Counted, never
+      // silent: a nonzero dropped_dirty_count() means flushes are not
+      // keeping up with the fast tier's eviction rate.
+      const std::scoped_lock lock(mu_);
+      ++dropped_dirty_;
+    }
+  }
+  if (staged.empty()) return result;
+  // Durability lives in the deepest tier; the middle tiers are caches that
+  // refill via promotion. A refused drain (bounded deepest tier, full)
+  // stays dirty so a later flush retries instead of silently losing it.
+  const auto res = tiers_.back()->put_batch(std::move(staged), now);
+  result.drained = res.stored;
+  result.request_fee_usd += res.request_fee_usd;
+  const std::scoped_lock lock(mu_);
+  stats_.fees_usd += result.request_fee_usd;
+  for (std::size_t k = 0; k < staged_names.size(); ++k) {
+    if (k >= res.accepted.size() || !res.accepted[k]) {
+      dirty_.insert(staged_names[k]);
+    }
+  }
+  return result;
+}
+
+std::size_t TieredColdStore::dirty_count() const {
+  const std::scoped_lock lock(mu_);
+  return dirty_.size();
+}
+
+std::uint64_t TieredColdStore::dropped_dirty_count() const {
+  const std::scoped_lock lock(mu_);
+  return dropped_dirty_;
+}
+
+}  // namespace flstore::backend

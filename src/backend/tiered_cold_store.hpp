@@ -1,0 +1,97 @@
+// TieredColdStore — composes StorageBackends into one cold tier with
+// fallback reads and write-through / write-back writes.
+//
+// Tiers are ordered fast-to-durable, e.g. local SSD -> cloud cache ->
+// object store. A get probes tiers in order: every miss along the way pays
+// that tier's control-plane round trip (first-byte latency), the first hit
+// pays its transfer — and, with promote_on_hit, the object is copied into
+// the tiers above so the next access hits the fast path (promotion is
+// asynchronous: its fees are charged, its latency is not on the request).
+//
+// Writes:
+//   kWriteThrough — every tier stores the object; the synchronous latency
+//     is the *fastest* accepting tier (the deeper copies stream in the
+//     background), fees are summed. The last tier is authoritative, so a
+//     capacity-bounded fast tier can reject or evict without losing data.
+//   kWriteBack — the fastest tier with room stores synchronously (a full
+//     fixed tier falls through to the next); objects not yet in the
+//     deepest tier are dirty and drain there on flush() via its batched
+//     multi-put. Lower write latency, bounded staleness: crash-consistency
+//     of the caching tiers is the price, which is why flush() exists.
+//
+// The composition is itself a StorageBackend, so core::FLStore and
+// serve::ShardedStore cannot tell one backend from a stack of them.
+#pragma once
+
+#include <mutex>
+#include <unordered_set>
+
+#include "backend/storage_backend.hpp"
+
+namespace flstore::backend {
+
+class TieredColdStore final : public StorageBackend {
+ public:
+  enum class WriteMode : std::uint8_t { kWriteThrough, kWriteBack };
+
+  struct Config {
+    WriteMode write_mode = WriteMode::kWriteThrough;
+    /// Copy a hit from tier i into tiers 0..i-1 (async, fees only).
+    bool promote_on_hit = true;
+  };
+
+  /// `tiers` are probed in order; the caller owns them and they must
+  /// outlive the composition. At least one tier is required.
+  TieredColdStore(std::vector<StorageBackend*> tiers, Config config);
+  explicit TieredColdStore(std::vector<StorageBackend*> tiers)
+      : TieredColdStore(std::move(tiers), Config{}) {}
+
+  PutResult put(const std::string& name, Blob blob, units::Bytes logical_bytes,
+                double now) override;
+  BatchPutResult put_batch(std::vector<PutRequest> batch, double now) override;
+  GetResult get(const std::string& name, double now) override;
+  bool remove(const std::string& name, double now) override;
+  [[nodiscard]] bool contains(const std::string& name) const override;
+  /// Authoritative bytes: the deepest tier. Write-back objects still dirty
+  /// in tier 0 are *not* counted until flush() drains them — the deep tier
+  /// is what storage billing sees.
+  [[nodiscard]] units::Bytes stored_logical_bytes() const override;
+  [[nodiscard]] units::Bytes capacity_bytes() const override;
+  /// Sum over tiers — a stack bills every layer it keeps provisioned.
+  [[nodiscard]] double idle_cost(double seconds) const override;
+  [[nodiscard]] BackendKind kind() const noexcept override {
+    return BackendKind::kTiered;
+  }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] OpStats stats() const override;
+
+  /// Write-back only: make dirty objects durable in the deepest tier (one
+  /// batched multi-put; middle tiers refill via promotion). Objects the
+  /// deepest tier refuses stay dirty for the next flush. Returns the
+  /// number of objects that became durable plus the fees the drain paid
+  /// (read-back GETs + deep-tier PUTs) for the caller's meter. No-op in
+  /// write-through mode or with nothing dirty.
+  FlushResult flush(double now) override;
+
+  [[nodiscard]] std::size_t dirty_count() const;
+  /// Dirty objects a bounded fast tier evicted before any flush drained
+  /// them — write-back's crash-consistency window made observable. Keep it
+  /// zero: flush often enough, or give tier 0 auto-scale capacity.
+  [[nodiscard]] std::uint64_t dropped_dirty_count() const;
+  [[nodiscard]] std::size_t tier_count() const noexcept {
+    return tiers_.size();
+  }
+  [[nodiscard]] StorageBackend& tier(std::size_t i) { return *tiers_.at(i); }
+
+ private:
+  Config config_;
+  std::vector<StorageBackend*> tiers_;
+  mutable std::mutex mu_;  ///< guards dirty_ and stats_
+  /// Names accepted by a tier above the deepest and not yet made durable
+  /// there (write-back mode).
+  std::unordered_set<std::string> dirty_;
+  std::uint64_t dropped_dirty_ = 0;
+  OpStats stats_;
+};
+
+}  // namespace flstore::backend

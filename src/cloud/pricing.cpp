@@ -45,6 +45,13 @@ int PricingCatalog::cache_nodes_for(units::Bytes working_set) const {
                                     static_cast<double>(cache_node_capacity)));
 }
 
+double PricingCatalog::ssd_devices_cost(int devices, double seconds) const {
+  FLSTORE_CHECK(devices >= 0);
+  FLSTORE_CHECK(seconds >= 0.0);
+  return static_cast<double>(devices) * units::to_gb(ssd_device_capacity) *
+         units::usd_per_month(ssd_usd_per_gb_month) * seconds;
+}
+
 double PricingCatalog::keepalive_cost(int instances, double seconds) const {
   FLSTORE_CHECK(instances >= 0);
   return static_cast<double>(instances) *

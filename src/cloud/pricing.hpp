@@ -27,6 +27,12 @@ struct PricingCatalog {
   double cache_node_usd_per_hour = 0.411;
   units::Bytes cache_node_capacity = static_cast<units::Bytes>(26.32 * 1e9);
 
+  // --- local NVMe tier (i3en-class instance storage / gp3-class volumes) --
+  // Billed on *provisioned* device capacity, used or not — the middle
+  // ground between S3's GB-month-on-stored-bytes and cache node-hours.
+  double ssd_usd_per_gb_month = 0.08;
+  units::Bytes ssd_device_capacity = static_cast<units::Bytes>(1.9e12);
+
   [[nodiscard]] static const PricingCatalog& aws();
 
   // Derived helpers ---------------------------------------------------------
@@ -38,6 +44,8 @@ struct PricingCatalog {
   [[nodiscard]] double cache_nodes_cost(int nodes, double seconds) const;
   /// Nodes needed to hold `working_set` bytes of cache data.
   [[nodiscard]] int cache_nodes_for(units::Bytes working_set) const;
+  /// Provisioned-capacity fee for `devices` NVMe devices over `seconds`.
+  [[nodiscard]] double ssd_devices_cost(int devices, double seconds) const;
   [[nodiscard]] double keepalive_cost(int instances, double seconds) const;
 };
 

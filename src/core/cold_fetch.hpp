@@ -1,6 +1,6 @@
 // Cold-store read-through interception point.
 //
-// FLStore's miss path normally issues a synchronous ObjectStore::get and
+// FLStore's miss path normally issues a synchronous StorageBackend::get and
 // pays the per-request fee. The serving plane (src/serve/) injects a
 // single-flight Coalescer here so concurrent shards that miss on the same
 // cold object share one fetch — one request fee, one transfer — instead of
@@ -8,14 +8,14 @@
 // object-store fee model).
 //
 // The interceptor sees the *namespaced* object name (tenant prefix applied),
-// the shared store, and the simulated time of the access; implementations
-// must be safe to call from multiple shard threads.
+// the shared cold backend, and the simulated time of the access;
+// implementations must be safe to call from multiple shard threads.
 #pragma once
 
 #include <memory>
 #include <string>
 
-#include "cloud/object_store.hpp"
+#include "backend/storage_backend.hpp"
 #include "common/units.hpp"
 
 namespace flstore::core {
@@ -32,9 +32,10 @@ class ColdFetchInterceptor {
 
   virtual ~ColdFetchInterceptor() = default;
 
-  /// Resolve `object_name` against `store` at simulated time `now`.
+  /// Resolve `object_name` against `cold` at simulated time `now`.
   [[nodiscard]] virtual Fetched fetch(const std::string& object_name,
-                                      ObjectStore& store, double now) = 0;
+                                      backend::StorageBackend& cold,
+                                      double now) = 0;
 };
 
 }  // namespace flstore::core

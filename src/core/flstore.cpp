@@ -65,11 +65,15 @@ FunctionRuntime::Config function_runtime_config(const ModelSpec& model) {
 }
 
 FLStore::FLStore(FLStoreConfig config, const fed::FLJob& job,
-                 ObjectStore& cold_store)
+                 std::unique_ptr<backend::ObjectStoreBackend> owned_cold,
+                 backend::StorageBackend* cold)
     : config_(config),
       job_(&job),
-      cold_(&cold_store),
-      runtime_(function_runtime_config(job.model()), PricingCatalog::aws()) {
+      owned_cold_(std::move(owned_cold)),
+      cold_(owned_cold_ != nullptr ? owned_cold_.get() : cold),
+      runtime_(function_runtime_config(job.model()), PricingCatalog::aws()),
+      backup_(*cold_, infra_meter_,
+              backend::BackupWriter::Config{config_.backup_batch}) {
   auto pool_cfg = config_.pool;
   if (pool_cfg.function_memory == 0) {
     pool_cfg.function_memory = function_sizing_for(job.model()).memory;
@@ -84,6 +88,16 @@ FLStore::FLStore(FLStoreConfig config, const fed::FLJob& job,
   engine_ = std::make_unique<CacheEngine>(engine_cfg, *pool_);
 }
 
+FLStore::FLStore(FLStoreConfig config, const fed::FLJob& job,
+                 backend::StorageBackend& cold)
+    : FLStore(std::move(config), job, nullptr, &cold) {}
+
+FLStore::FLStore(FLStoreConfig config, const fed::FLJob& job,
+                 ObjectStore& cold_store)
+    : FLStore(std::move(config), job,
+              std::make_unique<backend::ObjectStoreBackend>(cold_store),
+              nullptr) {}
+
 void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
   // All metadata keys this round produced.
   std::vector<MetadataKey> keys;
@@ -94,17 +108,36 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
   keys.push_back(MetadataKey::aggregate(record.round));
   keys.push_back(MetadataKey::metadata(record.round));
 
-  // Async backup of everything to the persistent data plane (fees accrue,
-  // no serving latency). Secondary shards of a tenant skip it: the primary
-  // already streamed the round out, and double puts mean double fees.
+  // Async batched backup of everything to the persistent data plane (fees
+  // accrue, no serving latency): objects queue on the BackupWriter and
+  // drain through the backend's batched multi-put. Secondary shards of a
+  // tenant skip it: the primary already streamed the round out, and double
+  // puts mean double fees.
   std::unordered_map<MetadataKey, EncodedObject, MetadataKeyHash> encoded;
   for (const auto& key : keys) {
     auto obj = encode_for_key(key, record);
     if (config_.backup_to_cold) {
-      const auto put = cold_->put(cold_name(key), obj.blob, obj.logical_bytes);
-      infra_meter_.charge(CostCategory::kStorageService, put.request_fee_usd);
+      backup_.enqueue(cold_name(key), obj.blob, obj.logical_bytes, now);
     }
     encoded.emplace(key, std::move(obj));
+  }
+  // Drain before any request can arrive: the cold store's contents at every
+  // serve point are identical to the old inline-per-object path. The
+  // backend flush then makes a write-back tiered composition durable (its
+  // put_batch parks objects in the fast tier). With a *shared* write-back
+  // composition the flush drains every tenant's pending objects and the
+  // flushing tenant books the drain fees — the shared-daemon approximation;
+  // give tenants their own compositions (or write-through) when per-tenant
+  // fee attribution matters. A capacity-bounded cold tier that refuses
+  // backups shows up in backup_writer().stats().rejected — and later as
+  // NotFound on the first cache miss for the dropped object; run bounded
+  // backends auto-scaled or behind a TieredColdStore whose deepest tier is
+  // unbounded (every default configuration is).
+  if (config_.backup_to_cold) {
+    (void)backup_.flush(now);
+    const auto drained = cold_->flush(now);
+    infra_meter_.charge(CostCategory::kStorageService,
+                        drained.request_fee_usd);
   }
 
   // Tailored write-allocation (hot data stays next to compute).
@@ -178,7 +211,7 @@ FLStore::FetchOutcome FLStore::fetch_cold(const MetadataKey& key,
     }
     return {std::move(got.blob), got.logical_bytes, got.latency_s};
   }
-  auto got = cold_->get(name);
+  auto got = cold_->get(name, now);
   meter.charge(CostCategory::kStorageService, got.request_fee_usd);
   if (!got.found) {
     throw NotFound("cold store lacks " + name);
@@ -308,7 +341,7 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
   // Store the (small) result back asynchronously.
   const auto put =
       cold_->put(config_.cold_namespace + "results/" + std::to_string(req.id),
-                 Blob(1), res.output.result_bytes);
+                 Blob(1), res.output.result_bytes, now + res.comm_s);
   request_fees.charge(CostCategory::kStorageService, put.request_fee_usd);
 
   // Post-serve: policy prefetch + evictions (asynchronous).

@@ -1,10 +1,14 @@
 // FLStore facade — the public API of the paper's system.
 //
 // Wires the Request Tracker, Cache Engine and Serverless Cache pool over a
-// persistent object store (Fig 5). Training rounds stream in through
-// ingest_round (client updates + async cold-store backup); non-training
-// requests are served with locality-aware execution on the functions that
-// cache the data, with policy-driven prefetch/evict around each request.
+// persistent cold tier (Fig 5). The cold tier is any backend::StorageBackend
+// — cloud object store, provisioned cloud cache, local SSD, or a tiered
+// stack of them — so the paper's FLStore-vs-ObjStore-vs-CloudCache sweeps
+// run through this one code path. Training rounds stream in through
+// ingest_round (client updates + async batched cold backup via
+// backend::BackupWriter); non-training requests are served with
+// locality-aware execution on the functions that cache the data, with
+// policy-driven prefetch/evict around each request.
 //
 // Quickstart:
 //   fed::FLJob job(cfg);
@@ -20,6 +24,9 @@
 #include <string>
 #include <unordered_map>
 
+#include "backend/backup_writer.hpp"
+#include "backend/object_store_backend.hpp"
+#include "backend/storage_backend.hpp"
 #include "cloud/cost_meter.hpp"
 #include "cloud/object_store.hpp"
 #include "core/cache_engine.hpp"
@@ -64,6 +71,10 @@ struct FLStoreConfig {
   /// Secondary cache shards of one tenant disable this: the primary shard
   /// backs the round up once, and duplicate puts would double the fees.
   bool backup_to_cold = true;
+  /// Batch size of the async BackupWriter draining ingested rounds to the
+  /// cold tier (0 = drain only at end of ingest). Contents are identical
+  /// for any value (regression-tested); only the write schedule changes.
+  std::size_t backup_batch = 64;
 };
 
 struct ServeResult {
@@ -79,8 +90,14 @@ struct ServeResult {
 
 class FLStore {
  public:
-  /// `dir` is the training job (round directory + model); `cold_store` is
-  /// the persistent data plane. Both must outlive the facade.
+  /// `job` is the training job (round directory + model); `cold` is the
+  /// persistent data plane — any backend (object store, cloud cache, local
+  /// SSD, tiered). Both must outlive the facade.
+  FLStore(FLStoreConfig config, const fed::FLJob& job,
+          backend::StorageBackend& cold);
+
+  /// Convenience: wrap a raw ObjectStore in an owned ObjectStoreBackend
+  /// (the pre-backend API; latencies and fees are bit-identical).
   FLStore(FLStoreConfig config, const fed::FLJob& job,
           ObjectStore& cold_store);
 
@@ -124,11 +141,23 @@ class FLStore {
   [[nodiscard]] const CostMeter& infra_meter() const noexcept {
     return infra_meter_;
   }
+  [[nodiscard]] backend::StorageBackend& cold_backend() noexcept {
+    return *cold_;
+  }
+  [[nodiscard]] const backend::BackupWriter& backup_writer() const noexcept {
+    return backup_;
+  }
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
   [[nodiscard]] std::uint64_t refetches() const noexcept { return refetches_; }
   [[nodiscard]] const FLStoreConfig& config() const noexcept { return config_; }
 
  private:
+  /// Both public constructors funnel here: exactly one of `owned_cold` /
+  /// `cold` is set.
+  FLStore(FLStoreConfig config, const fed::FLJob& job,
+          std::unique_ptr<backend::ObjectStoreBackend> owned_cold,
+          backend::StorageBackend* cold);
+
   struct FetchOutcome {
     std::shared_ptr<const Blob> blob;
     units::Bytes logical_bytes = 0;
@@ -145,13 +174,19 @@ class FLStore {
 
   FLStoreConfig config_;
   const fed::FLJob* job_;
-  ObjectStore* cold_;
+  /// Set only by the ObjectStore& convenience constructor, which owns the
+  /// adapter it wraps the raw store in.
+  std::unique_ptr<backend::ObjectStoreBackend> owned_cold_;
+  backend::StorageBackend* cold_;
   ColdFetchInterceptor* cold_interceptor_ = nullptr;
   FunctionRuntime runtime_;
   std::unique_ptr<ServerlessCachePool> pool_;
   std::unique_ptr<CacheEngine> engine_;
   RequestTracker tracker_;
   CostMeter infra_meter_;  ///< fees not attributable to one request
+  /// Async batched backup of ingested rounds into `cold_` (declared after
+  /// infra_meter_: it charges fees there).
+  backend::BackupWriter backup_;
   /// Active P3 client tracks: client -> last request time. Ingest pins new
   /// rounds of tracked clients so across-round workloads keep hitting at
   /// the training frontier.

@@ -20,8 +20,15 @@ using TenantId = std::int32_t;
 
 class MultiTenantFLStore {
  public:
+  /// Shared cold tier behind every tenant — any storage backend.
+  explicit MultiTenantFLStore(backend::StorageBackend& shared_cold)
+      : cold_(&shared_cold) {}
+
+  /// Convenience: wrap a raw ObjectStore in an owned adapter.
   explicit MultiTenantFLStore(ObjectStore& shared_cold_store)
-      : cold_(&shared_cold_store) {}
+      : owned_cold_(std::make_unique<backend::ObjectStoreBackend>(
+            shared_cold_store)),
+        cold_(owned_cold_.get()) {}
 
   /// Register a tenant with its own job and policy configuration.
   /// The job must outlive this registry. Throws on duplicate ids.
@@ -48,7 +55,8 @@ class MultiTenantFLStore {
   [[nodiscard]] double infrastructure_cost(double seconds) const;
 
  private:
-  ObjectStore* cold_;
+  std::unique_ptr<backend::ObjectStoreBackend> owned_cold_;
+  backend::StorageBackend* cold_;
   std::unordered_map<TenantId, std::unique_ptr<FLStore>> tenants_;
   TenantId next_id_ = 0;
 };

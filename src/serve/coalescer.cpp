@@ -3,7 +3,8 @@
 namespace flstore::serve {
 
 core::ColdFetchInterceptor::Fetched Coalescer::fetch(
-    const std::string& object_name, ObjectStore& store, double now) {
+    const std::string& object_name, backend::StorageBackend& cold,
+    double now) {
   const std::scoped_lock lock(mu_);
 
   const auto it = inflight_.find(object_name);
@@ -19,7 +20,7 @@ core::ColdFetchInterceptor::Fetched Coalescer::fetch(
   }
 
   // Lead: issue the real fetch and open a window other shards can join.
-  auto got = store.get(object_name);
+  auto got = cold.get(object_name, now);
   if (!got.found) {
     // Misses pay the control-plane round trip but open no window (the
     // object may appear any moment via ingest backup).

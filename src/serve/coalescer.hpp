@@ -55,7 +55,8 @@ class Coalescer final : public core::ColdFetchInterceptor {
   /// ColdFetchInterceptor: resolve `object_name` at simulated time `now`,
   /// joining an in-flight fetch when one covers `now`.
   [[nodiscard]] core::ColdFetchInterceptor::Fetched fetch(
-      const std::string& object_name, ObjectStore& store, double now) override;
+      const std::string& object_name, backend::StorageBackend& cold,
+      double now) override;
 
   [[nodiscard]] Stats stats() const {
     const std::scoped_lock lock(mu_);

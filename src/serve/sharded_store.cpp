@@ -43,8 +43,14 @@ using EventQueue = std::priority_queue<Event, std::vector<Event>, EventAfter>;
 
 }  // namespace
 
+ShardedStore::ShardedStore(backend::StorageBackend& cold,
+                           ShardedStoreConfig config)
+    : config_(config), cold_(&cold) {}
+
 ShardedStore::ShardedStore(ObjectStore& cold_store, ShardedStoreConfig config)
-    : config_(config), cold_(&cold_store) {}
+    : config_(config),
+      owned_cold_(std::make_unique<backend::ObjectStoreBackend>(cold_store)),
+      cold_(owned_cold_.get()) {}
 
 JobId ShardedStore::add_tenant(const fed::FLJob& job,
                                core::FLStoreConfig store_config,
@@ -178,8 +184,8 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     FLSTORE_CHECK(closed->users_per_tenant > 0);
     sampler.emplace(mix->workloads, *tenant.job, mix->tracked_clients,
                     round_interval_s);
-    rng.emplace(closed->seed ^
-                (static_cast<std::uint64_t>(tenant.id) * 0x9E3779B97F4A7C15ULL));
+    rng.emplace(closed->seed ^ (static_cast<std::uint64_t>(tenant.id) *
+                                0x9E3779B97F4A7C15ULL));
     for (int u = 0; u < closed->users_per_tenant; ++u) {
       schedule_user_arrival(closed->think_s * static_cast<double>(u) /
                             static_cast<double>(closed->users_per_tenant));

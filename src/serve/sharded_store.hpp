@@ -25,6 +25,8 @@
 #include <mutex>
 #include <vector>
 
+#include "backend/object_store_backend.hpp"
+#include "backend/storage_backend.hpp"
 #include "cloud/object_store.hpp"
 #include "core/flstore.hpp"
 #include "serve/coalescer.hpp"
@@ -64,7 +66,17 @@ struct ShardedStoreConfig {
 
 class ShardedStore {
  public:
-  /// `cold_store` is the shared persistent tier; must outlive the plane.
+  /// `cold` is the shared persistent tier — any storage backend (object
+  /// store, cloud cache, local SSD, tiered); must outlive the plane. With
+  /// a shared *write-back* TieredColdStore, any tenant's ingest-end flush
+  /// drains every tenant's pending objects and books the drain fees (the
+  /// shared-daemon approximation; see FLStore::ingest_round) — prefer
+  /// write-through for shared stacks when per-tenant fees matter.
+  explicit ShardedStore(backend::StorageBackend& cold,
+                        ShardedStoreConfig config = {});
+
+  /// Convenience: wrap a raw ObjectStore in an owned ObjectStoreBackend
+  /// (the pre-backend API; latencies and fees are bit-identical).
   explicit ShardedStore(ObjectStore& cold_store,
                         ShardedStoreConfig config = {});
 
@@ -163,7 +175,9 @@ class ShardedStore {
       const std::vector<TenantMix>* mix);
 
   ShardedStoreConfig config_;
-  ObjectStore* cold_;
+  /// Set only by the ObjectStore& convenience constructor.
+  std::unique_ptr<backend::ObjectStoreBackend> owned_cold_;
+  backend::StorageBackend* cold_;
   /// One per tenant, indexed by JobId (stable addresses: shards hold raw
   /// interceptor pointers).
   std::vector<std::unique_ptr<Coalescer>> coalescers_;

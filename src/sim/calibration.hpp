@@ -25,6 +25,13 @@ namespace flstore::sim {
   return Link{0.002, 60.0e6};
 }
 
+/// Instance-attached NVMe: microsecond first byte, GB/s streams. The
+/// fastest cold tier a function can fall back to — and the most
+/// capacity-constrained (see backend::LocalSsdBackend).
+[[nodiscard]] inline Link local_ssd_link() {
+  return Link{80.0e-6, 2.0e9};
+}
+
 /// Aggregator VM (ml.m5.4xlarge) effective single-request throughput:
 /// deserialize+scan rate and flop rate for the workload compute model.
 [[nodiscard]] inline ComputeProfile vm_profile() {

@@ -1,5 +1,10 @@
 #include "sim/scenario.hpp"
 
+#include "backend/cloud_cache_backend.hpp"
+#include "backend/local_ssd_backend.hpp"
+#include "backend/object_store_backend.hpp"
+#include "common/error.hpp"
+
 namespace flstore::sim {
 
 Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
@@ -13,11 +18,12 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
 
   store_ = std::make_unique<ObjectStore>(objstore_link(),
                                          PricingCatalog::aws());
+  backend_ = make_cold_backend(config_.cold_backend);
 
   core::FLStoreConfig fl_cfg;
   fl_cfg.pool.replicas = config_.replicas;
   fl_cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
-  flstore_ = std::make_unique<core::FLStore>(fl_cfg, *job_, *store_);
+  flstore_ = std::make_unique<core::FLStore>(fl_cfg, *job_, *backend_);
 
   baselines::BaselineConfig base_cfg;
   base_cfg.vm_profile = vm_profile();
@@ -27,6 +33,8 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
       base_cfg, *job_, *store_,
       baselines::job_metadata_footprint(*job_), cloudcache_link());
 }
+
+Scenario::~Scenario() = default;
 
 std::vector<fed::NonTrainingRequest> Scenario::trace() const {
   fed::TraceConfig tc;
@@ -45,7 +53,40 @@ std::unique_ptr<core::FLStore> Scenario::make_flstore_variant(
   cfg.cache_capacity = cache_capacity;
   cfg.pool.replicas = replicas;
   cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
-  return std::make_unique<core::FLStore>(cfg, *job_, *store_);
+  return std::make_unique<core::FLStore>(cfg, *job_, *backend_);
+}
+
+std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
+    backend::BackendKind kind) const {
+  switch (kind) {
+    case backend::BackendKind::kObjectStore:
+      return std::make_unique<backend::ObjectStoreBackend>(*store_);
+    case backend::BackendKind::kCloudCache: {
+      backend::CloudCacheBackend::Config cfg;
+      cfg.link = cloudcache_link();
+      return std::make_unique<backend::CloudCacheBackend>(
+          cfg, PricingCatalog::aws());
+    }
+    case backend::BackendKind::kLocalSsd: {
+      backend::LocalSsdBackend::Config cfg;
+      cfg.link = local_ssd_link();
+      return std::make_unique<backend::LocalSsdBackend>(cfg,
+                                                        PricingCatalog::aws());
+    }
+    case backend::BackendKind::kTiered:
+      break;  // a composition, not a kind the scenario can conjure alone
+  }
+  throw InvalidArgument("make_cold_backend: unsupported backend kind");
+}
+
+std::unique_ptr<core::FLStore> Scenario::make_flstore_over(
+    backend::StorageBackend& cold, core::PolicyMode mode,
+    units::Bytes cache_capacity) const {
+  core::FLStoreConfig cfg;
+  cfg.policy.mode = mode;
+  cfg.cache_capacity = cache_capacity;
+  cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
+  return std::make_unique<core::FLStore>(cfg, *job_, cold);
 }
 
 }  // namespace flstore::sim

@@ -3,13 +3,18 @@
 //
 // Benches construct a Scenario per model and hand its systems to the
 // ExperimentRunner. Extra FLStore variants (LRU/FIFO/Random/Static/limited)
-// can be spawned against the same job and store for the policy ablations.
+// can be spawned against the same job and store for the policy ablations,
+// and FLStore's cold tier is a pluggable backend::StorageBackend: the
+// scenario builds the configured kind (object store by default) and
+// make_cold_backend() hands benches fresh instances for head-to-head
+// backend sweeps through the one core::FLStore code path.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "backend/storage_backend.hpp"
 #include "baselines/aggregator_baseline.hpp"
 #include "cloud/object_store.hpp"
 #include "core/flstore.hpp"
@@ -30,17 +35,25 @@ struct ScenarioConfig {
   std::vector<fed::WorkloadType> workloads;  ///< empty = the paper's ten
   std::uint64_t seed = 42;
   int replicas = 1;
+  /// Cold tier behind the scenario's FLStore. kObjectStore (the default)
+  /// reproduces the paper's setup bit-for-bit; kCloudCache / kLocalSsd put
+  /// the whole data plane on that tier instead.
+  backend::BackendKind cold_backend = backend::BackendKind::kObjectStore;
 };
 
 class Scenario {
  public:
   explicit Scenario(ScenarioConfig config);
+  ~Scenario();
 
   [[nodiscard]] const ScenarioConfig& config() const noexcept {
     return config_;
   }
   [[nodiscard]] fed::FLJob& job() noexcept { return *job_; }
   [[nodiscard]] ObjectStore& store() noexcept { return *store_; }
+  [[nodiscard]] backend::StorageBackend& cold_backend() noexcept {
+    return *backend_;
+  }
   [[nodiscard]] core::FLStore& flstore() noexcept { return *flstore_; }
   [[nodiscard]] baselines::ObjStoreAggregator& objstore_agg() noexcept {
     return *objstore_agg_;
@@ -52,15 +65,30 @@ class Scenario {
   /// The §5.2 mixed trace for this scenario (deterministic).
   [[nodiscard]] std::vector<fed::NonTrainingRequest> trace() const;
 
-  /// Build an extra FLStore variant over the same job/store (ablations).
+  /// Build an extra FLStore variant over the same job and cold backend
+  /// (ablations).
   [[nodiscard]] std::unique_ptr<core::FLStore> make_flstore_variant(
       core::PolicyMode mode, units::Bytes cache_capacity = 0,
       int replicas = 1) const;
+
+  /// A fresh cold backend of `kind` for this scenario (kObjectStore adapts
+  /// the scenario's shared store; the others own their tier). The caller
+  /// owns it and any FLStore built over it must not outlive it.
+  [[nodiscard]] std::unique_ptr<backend::StorageBackend> make_cold_backend(
+      backend::BackendKind kind) const;
+
+  /// An FLStore variant over an explicit cold backend (the benches' backend
+  /// sweeps; `cache_capacity` = 1 effectively disables the serverless cache
+  /// so every request runs against the backend).
+  [[nodiscard]] std::unique_ptr<core::FLStore> make_flstore_over(
+      backend::StorageBackend& cold, core::PolicyMode mode,
+      units::Bytes cache_capacity = 0) const;
 
  private:
   ScenarioConfig config_;
   std::unique_ptr<fed::FLJob> job_;
   std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<backend::StorageBackend> backend_;
   std::unique_ptr<core::FLStore> flstore_;
   std::unique_ptr<baselines::ObjStoreAggregator> objstore_agg_;
   std::unique_ptr<baselines::CacheAggregator> cache_agg_;

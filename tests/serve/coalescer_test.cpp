@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "backend/object_store_backend.hpp"
 #include "core/flstore.hpp"
 #include "fed/fl_job.hpp"
 #include "sim/calibration.hpp"
@@ -21,9 +22,10 @@ ObjectStore make_store() {
 TEST(Coalescer, ConcurrentMissesShareOneFetch) {
   auto store = make_store();
   store.put("k", Blob(64), 80 * units::MB);  // 10 s transfer at 8 MB/s
+  backend::ObjectStoreBackend cold(store);
   Coalescer co;
 
-  const auto lead = co.fetch("k", store, 100.0);
+  const auto lead = co.fetch("k", cold, 100.0);
   ASSERT_TRUE(lead.found);
   EXPECT_GT(lead.request_fee_usd, 0.0);
   EXPECT_GT(lead.latency_s, 9.0);
@@ -31,7 +33,7 @@ TEST(Coalescer, ConcurrentMissesShareOneFetch) {
   // N "concurrent" misses: arrivals inside the leader's transfer window.
   for (int i = 1; i <= 4; ++i) {
     const double now = 100.0 + 2.0 * i;  // 102, 104, 106, 108 < ready ~110
-    const auto join = co.fetch("k", store, now);
+    const auto join = co.fetch("k", cold, now);
     ASSERT_TRUE(join.found);
     EXPECT_DOUBLE_EQ(join.request_fee_usd, 0.0);  // fee paid once, by the lead
     // The joiner only waits out the remainder of the stream.
@@ -50,10 +52,11 @@ TEST(Coalescer, ConcurrentMissesShareOneFetch) {
 TEST(Coalescer, ExpiredWindowLeadsAFreshFetch) {
   auto store = make_store();
   store.put("k", Blob(64), 80 * units::MB);
+  backend::ObjectStoreBackend cold(store);
   Coalescer co;
-  const auto first = co.fetch("k", store, 0.0);
+  const auto first = co.fetch("k", cold, 0.0);
   // Past the window: the object aged out of every cache again; refetch.
-  const auto second = co.fetch("k", store, first.latency_s + 1.0);
+  const auto second = co.fetch("k", cold, first.latency_s + 1.0);
   EXPECT_GT(second.request_fee_usd, 0.0);
   EXPECT_EQ(store.get_count(), 2U);
   EXPECT_EQ(co.stats().leads, 2U);
@@ -62,13 +65,14 @@ TEST(Coalescer, ExpiredWindowLeadsAFreshFetch) {
 
 TEST(Coalescer, MissOpensNoWindow) {
   auto store = make_store();
+  backend::ObjectStoreBackend cold(store);
   Coalescer co;
-  const auto a = co.fetch("absent", store, 0.0);
+  const auto a = co.fetch("absent", cold, 0.0);
   EXPECT_FALSE(a.found);
   EXPECT_GT(a.request_fee_usd, 0.0);  // control-plane round trip still billed
   // The object lands (ingest backup) and the next fetch must be real.
   store.put("absent", Blob(64), 1 * units::MB);
-  const auto b = co.fetch("absent", store, 0.05);
+  const auto b = co.fetch("absent", cold, 0.05);
   EXPECT_TRUE(b.found);
   EXPECT_GT(b.request_fee_usd, 0.0);
 }
@@ -76,12 +80,13 @@ TEST(Coalescer, MissOpensNoWindow) {
 TEST(Coalescer, ThreadSafeUnderHammering) {
   auto store = make_store();
   store.put("k", Blob(64), 80 * units::MB);
+  backend::ObjectStoreBackend cold(store);
   Coalescer co;
   std::vector<std::thread> threads;
   for (int i = 0; i < 8; ++i) {
-    threads.emplace_back([&co, &store] {
+    threads.emplace_back([&co, &cold] {
       for (int j = 0; j < 100; ++j) {
-        const auto got = co.fetch("k", store, 1.0);
+        const auto got = co.fetch("k", cold, 1.0);
         ASSERT_TRUE(got.found);
       }
     });
