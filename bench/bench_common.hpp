@@ -19,6 +19,9 @@
 #include <utility>
 #include <vector>
 
+#include "backend/local_ssd_backend.hpp"
+#include "backend/object_store_backend.hpp"
+#include "backend/replicated_cold_store.hpp"
 #include "common/table.hpp"
 #include "fed/request.hpp"
 #include "sim/calibration.hpp"
@@ -259,6 +262,104 @@ inline std::vector<BackendSweepRow> print_backend_sweep(
   }
   std::printf("%s", table.to_string().c_str());
   return rows;
+}
+
+// --- multi-region cold tier (Figs 13/14 backend-replication sections) -----
+// The geo deployment the replication benches sweep: `serving_regions` warm
+// NVMe regions at WAN distances 0..R-1 (all fault-prone — a Zipf outage
+// schedule hits the home region hardest) plus an always-up far object-store
+// origin. With R=1 a home-region outage forces every read to re-fetch from
+// the origin across the WAN; with R>=3 reads fail over to a near replica
+// and read-repair heals the home copy — the paper's replication-vs-refetch
+// story, reproduced on the StorageBackend seam.
+
+/// Fixed count of geographic fault domains the outage schedule is drawn
+/// over, independent of how many serving regions a deployment provisions —
+/// deploying fewer regions must not make the surviving ones fail more
+/// often, or the replication-vs-refetch comparison would be rigged.
+inline constexpr int kGeoFaultDomains = 5;
+
+/// Region outages for a geo deployment: map the fault schedule onto the
+/// fixed fault domains, then keep only the domains this deployment
+/// actually hosts (the origin never fails — it is the durable tier).
+/// Every deployment size sees the *same* per-region outage law; larger
+/// deployments simply host (and absorb) more of the schedule.
+inline std::vector<backend::OutageWindow> geo_outages(
+    const std::vector<FaultEvent>& faults, int serving_regions,
+    double outage_duration_s) {
+  auto windows = backend::region_outages_from_faults(
+      faults, static_cast<std::size_t>(kGeoFaultDomains), outage_duration_s);
+  std::erase_if(windows, [&](const backend::OutageWindow& w) {
+    return w.region >= static_cast<std::size_t>(serving_regions);
+  });
+  return windows;
+}
+
+inline std::unique_ptr<backend::ReplicatedColdStore> make_geo_cold_store(
+    int serving_regions) {
+  std::vector<backend::ReplicatedColdStore::Region> regions;
+  regions.reserve(static_cast<std::size_t>(serving_regions) + 1);
+  for (int i = 0; i < serving_regions; ++i) {
+    backend::ReplicatedColdStore::Region region;
+    region.name = "ssd-" + std::to_string(i);
+    backend::LocalSsdBackend::Config ssd_cfg;
+    ssd_cfg.link = sim::local_ssd_link();
+    region.owned = std::make_unique<backend::LocalSsdBackend>(
+        ssd_cfg, PricingCatalog::aws());
+    region.wan = sim::interregion_link(i);
+    regions.push_back(std::move(region));
+  }
+  backend::ReplicatedColdStore::Region origin;
+  origin.name = "origin";
+  origin.owned = std::make_unique<backend::ObjectStoreBackend>(
+      sim::objstore_link(), PricingCatalog::aws());
+  origin.wan = sim::interregion_link(std::max(3, serving_regions));
+  origin.far = true;
+  regions.push_back(std::move(origin));
+  backend::ReplicatedColdStore::Config cfg;
+  // Writes wait for two acks (home + nearest other replica); the rest of
+  // the fan-out — including the far origin that guarantees durability —
+  // streams in the background.
+  cfg.write_quorum = 2;
+  return std::make_unique<backend::ReplicatedColdStore>(
+      std::move(regions), cfg, PricingCatalog::aws());
+}
+
+/// One row of a geo sweep: FLStore in direct mode (serverless cache
+/// disabled) over the deployment, so every request measures the replicated
+/// backend itself.
+struct GeoRow {
+  int serving_regions = 0;
+  sim::RunResult run;
+  double mean_latency_s = 0.0;
+  double mean_cost_usd = 0.0;
+  double egress_usd = 0.0;
+  double idle_usd_per_hour = 0.0;
+  std::uint64_t failover_reads = 0;
+  std::uint64_t outage_skips = 0;
+};
+
+inline GeoRow run_geo_deployment(
+    sim::Scenario& sc, const std::vector<fed::NonTrainingRequest>& trace,
+    int serving_regions, const std::vector<backend::OutageWindow>& outages) {
+  auto geo = make_geo_cold_store(serving_regions);
+  geo->set_outages(outages);
+  auto fl = sc.make_flstore_over(*geo, core::PolicyMode::kLru,
+                                 units::Bytes{1});
+  auto adapter = sim::adapt(*fl);
+  GeoRow row;
+  row.serving_regions = serving_regions;
+  row.run = sim::run_trace(*adapter, sc.job(), trace, sc.config().duration_s,
+                           sc.config().round_interval_s);
+  const auto n = static_cast<double>(
+      std::max<std::size_t>(1, row.run.records.size()));
+  row.mean_latency_s = row.run.total_latency_s() / n;
+  row.mean_cost_usd = row.run.total_serving_usd() / n;
+  row.egress_usd = geo->egress_fees_usd();
+  row.idle_usd_per_hour = geo->idle_cost(3600.0);
+  row.failover_reads = geo->failover_reads();
+  row.outage_skips = geo->outage_skips();
+  return row;
 }
 
 }  // namespace flstore::bench

@@ -71,12 +71,14 @@ BatchPutResult CloudCacheBackend::put_batch(std::vector<PutRequest> batch,
                                             double now) {
   BatchPutResult res;
   res.accepted.reserve(batch.size());
-  units::Bytes total = 0;
+  units::Bytes stored = 0;
+  units::Bytes attempted = 0;
   const std::scoped_lock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   for (auto& item : batch) {
     const units::Bytes logical =
         effective_logical(item.blob, item.logical_bytes);
+    attempted += logical;
     const bool accepted = store_locked(
         item.name, std::make_shared<const Blob>(std::move(item.blob)),
         logical);
@@ -87,11 +89,14 @@ BatchPutResult CloudCacheBackend::put_batch(std::vector<PutRequest> batch,
       continue;
     }
     ++res.stored;
-    total += logical;
+    stored += logical;
   }
-  res.latency_s += config_.link.transfer_time(total);
+  // Same contract as put(): a refused write still pays its transfer — the
+  // bytes travelled before the rejection, so the stream time covers every
+  // *attempted* byte, not just the accepted ones.
+  res.latency_s += config_.link.transfer_time(attempted);
   ++stats_.batches;
-  stats_.bytes_written += total;
+  stats_.bytes_written += stored;
   return res;
 }
 

@@ -48,23 +48,24 @@ BatchPutResult LocalSsdBackend::put_batch(std::vector<PutRequest> batch,
                                           double now) {
   // NVMe queues keep a batch streaming at device bandwidth: one admission,
   // one setup cost, then sequential writes. Rejected items (fixed fleet,
-  // full device) do not consume stream time.
+  // full device) still consume stream time — the bytes travelled over the
+  // link before the device refused them, the same contract as put().
   BatchPutResult res;
   res.accepted.reserve(batch.size());
-  units::Bytes total = 0;
+  units::Bytes attempted = 0;
   const std::scoped_lock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   for (auto& item : batch) {
     const units::Bytes logical =
         effective_logical(item.blob, item.logical_bytes);
+    attempted += logical;
     const bool accepted = store_locked(item.name, std::move(item.blob),
                                        logical);
     res.accepted.push_back(accepted);
     if (!accepted) continue;
     ++res.stored;
-    total += logical;
   }
-  res.latency_s += config_.link.transfer_time(total);
+  res.latency_s += config_.link.transfer_time(attempted);
   ++stats_.batches;
   return res;
 }

@@ -25,6 +25,16 @@ class ObjectStoreBackend final : public StorageBackend {
   explicit ObjectStoreBackend(ObjectStore& store, Config config = {})
       : store_(&store), config_(config), throttle_(config.throttle) {}
 
+  /// Owning: builds a private ObjectStore over `link` — one bucket per
+  /// region is exactly what a ReplicatedColdStore needs, and nothing else
+  /// shares a region's store.
+  ObjectStoreBackend(const Link& link, const PricingCatalog& pricing,
+                     Config config = {})
+      : owned_store_(std::make_unique<ObjectStore>(link, pricing)),
+        store_(owned_store_.get()),
+        config_(config),
+        throttle_(config.throttle) {}
+
   PutResult put(const std::string& name, Blob blob, units::Bytes logical_bytes,
                 double now) override;
   BatchPutResult put_batch(std::vector<PutRequest> batch, double now) override;
@@ -45,6 +55,7 @@ class ObjectStoreBackend final : public StorageBackend {
  private:
   double admit(double now);
 
+  std::unique_ptr<ObjectStore> owned_store_;  ///< null in non-owning mode
   ObjectStore* store_;
   Config config_;
   mutable std::mutex mu_;  ///< guards throttle_ and stats_

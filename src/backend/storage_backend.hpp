@@ -40,6 +40,7 @@ enum class BackendKind : std::uint8_t {
   kCloudCache,
   kLocalSsd,
   kTiered,
+  kReplicated,
 };
 
 [[nodiscard]] constexpr const char* to_string(BackendKind k) noexcept {
@@ -48,6 +49,7 @@ enum class BackendKind : std::uint8_t {
     case BackendKind::kCloudCache: return "cloud-cache";
     case BackendKind::kLocalSsd: return "local-ssd";
     case BackendKind::kTiered: return "tiered";
+    case BackendKind::kReplicated: return "replicated";
   }
   return "?";
 }
@@ -77,7 +79,10 @@ struct PutRequest {
 
 struct BatchPutResult {
   std::size_t stored = 0;  ///< objects accepted (== batch size unless full)
-  double latency_s = 0.0;  ///< one batched stream, not a sum of round trips
+  /// One batched stream, not a sum of round trips. Like PutResult, refused
+  /// items still pay their share of the stream: the transfer time covers
+  /// every *attempted* byte — the bytes travelled before the rejection.
+  double latency_s = 0.0;
   double request_fee_usd = 0.0;
   /// Per-item acceptance, same order as the batch (capacity-bounded tiers
   /// can reject a subset; TieredColdStore routes those to deeper tiers).

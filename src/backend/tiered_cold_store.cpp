@@ -31,11 +31,15 @@ PutResult TieredColdStore::put(const std::string& name, Blob blob,
       if (!res.accepted) continue;
       // Tiers that refused this overwrite may still hold the previous
       // version; drop those copies or reads would serve stale bytes (and
-      // flush would drain them over the newer one).
-      for (std::size_t k = 0; k < i; ++k) (void)tiers_[k]->remove(name, now);
+      // flush would drain them over the newer one). Only tiers that hold a
+      // copy get a remove — the op ledger must not book deletes a tier
+      // never saw.
+      for (std::size_t k = 0; k < i; ++k) {
+        if (tiers_[k]->contains(name)) (void)tiers_[k]->remove(name, now);
+      }
       const std::scoped_lock lock(mu_);
       if (i + 1 < tiers_.size()) {
-        dirty_.insert(name);
+        dirty_[name] = logical;
       } else {
         // Landed durable directly; an earlier fast-tier version may have
         // left a dirty marker — clear it or flush() reports a false drop.
@@ -72,7 +76,7 @@ PutResult TieredColdStore::put(const std::string& name, Blob blob,
         fastest = tier_res.latency_s;
         any = true;
       }
-    } else {
+    } else if (tiers_[i]->contains(name)) {
       (void)tiers_[i]->remove(name, now);
     }
   }
@@ -107,7 +111,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         written += logical;
         if (tiers_.size() > 1) {
           const std::scoped_lock lock(mu_);
-          dirty_.insert(item.name);
+          dirty_[item.name] = logical;
         }
         continue;
       }
@@ -123,7 +127,9 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         res.request_fee_usd += deep.request_fee_usd;
         if (!deep.accepted) continue;
         for (std::size_t k = 0; k < j; ++k) {
-          (void)tiers_[k]->remove(item.name, now);
+          if (tiers_[k]->contains(item.name)) {
+            (void)tiers_[k]->remove(item.name, now);
+          }
         }
         res.accepted[i] = true;
         ++res.stored;
@@ -133,7 +139,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         {
           const std::scoped_lock lock(mu_);
           if (j + 1 < tiers_.size()) {
-            dirty_.insert(item.name);
+            dirty_[item.name] = logical;
           } else {
             dirty_.erase(item.name);  // durable now; see put()
           }
@@ -178,10 +184,14 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
     auto tier_res = tiers_[i]->put_batch(std::move(copy), now);
     res.request_fee_usd += tier_res.request_fee_usd;
     last = tier_res.latency_s;
-    // A tier that refused an overwrite drops its old copy (see put()).
+    // A tier that refused an overwrite drops its old copy (see put()) —
+    // but only if it actually holds one: a remove for an object the tier
+    // never stored would inflate its OpStats::removes ledger and wreck
+    // op-count comparisons across backends.
     if (tier_res.stored < names.size()) {
       for (std::size_t k = 0; k < names.size(); ++k) {
-        if (k >= tier_res.accepted.size() || !tier_res.accepted[k]) {
+        if ((k >= tier_res.accepted.size() || !tier_res.accepted[k]) &&
+            tiers_[i]->contains(names[k])) {
           (void)tiers_[i]->remove(names[k], now);
         }
       }
@@ -222,10 +232,14 @@ GetResult TieredColdStore::get(const std::string& name, double now) {
     res.logical_bytes = tier_res.logical_bytes;
     if (config_.promote_on_hit && i > 0 && res.blob != nullptr) {
       // Async promotion into the faster tiers: fees accrue, the request
-      // does not wait.
+      // does not wait. Stamped at read-*completion* time — the bytes to
+      // promote only exist once the deep-tier transfer finishes, so the
+      // promotion (and the throttle token it consumes) must not jump the
+      // queue ahead of the request that produced them.
+      const double read_done = now + res.latency_s;
       for (std::size_t j = 0; j < i; ++j) {
-        const auto promo =
-            tiers_[j]->put(name, Blob(*res.blob), res.logical_bytes, now);
+        const auto promo = tiers_[j]->put(name, Blob(*res.blob),
+                                          res.logical_bytes, read_done);
         res.request_fee_usd += promo.request_fee_usd;
       }
     }
@@ -254,11 +268,33 @@ bool TieredColdStore::contains(const std::string& name) const {
 }
 
 units::Bytes TieredColdStore::stored_logical_bytes() const {
-  return tiers_.back()->stored_logical_bytes();
+  // Deduplicated logical occupancy: the deepest tier plus dirty objects
+  // resident only above it. Counting just the deep tier would make every
+  // un-flushed write-back object invisible while dirty_count() is nonzero.
+  units::Bytes total = tiers_.back()->stored_logical_bytes();
+  const std::scoped_lock lock(mu_);
+  for (const auto& [dirty_name, logical] : dirty_) {
+    if (!tiers_.back()->contains(dirty_name)) total += logical;
+  }
+  return total;
 }
 
 units::Bytes TieredColdStore::capacity_bytes() const {
-  return tiers_.back()->capacity_bytes();
+  if (config_.write_mode == WriteMode::kWriteThrough) {
+    // Durability is authoritative in the deepest tier: a put it refuses is
+    // refused overall, so its bound is the composition's bound.
+    return tiers_.back()->capacity_bytes();
+  }
+  // Write-back: the first accepting tier holds the only copy, so distinct
+  // objects can be resident in different tiers. Any auto-scaling tier
+  // (capacity 0) makes the composition unbounded.
+  units::Bytes total = 0;
+  for (const auto* tier : tiers_) {
+    const units::Bytes cap = tier->capacity_bytes();
+    if (cap == 0) return 0;
+    total += cap;
+  }
+  return total;
 }
 
 double TieredColdStore::idle_cost(double seconds) const {
@@ -287,20 +323,25 @@ StorageBackend::FlushResult TieredColdStore::flush(double now) {
   std::vector<std::string> drain;
   {
     const std::scoped_lock lock(mu_);
-    drain.assign(dirty_.begin(), dirty_.end());
+    drain.reserve(dirty_.size());
+    for (const auto& entry : dirty_) drain.push_back(entry.first);
     dirty_.clear();
   }
   if (drain.empty() || tiers_.size() < 2) return result;
-  // Deterministic drain order regardless of hash-set iteration.
+  // Deterministic drain order regardless of hash-map iteration.
   std::sort(drain.begin(), drain.end());
   // Each dirty object is read from the shallowest tier still holding it.
   // Drain reads go through the tier's normal read path on purpose: a real
   // drain does occupy the device/endpoint, so the reads belong in its op
   // ledger (and its LRU recency — flushing keeps dirty data warm).
   std::vector<PutRequest> staged;
-  std::vector<std::string> staged_names;  ///< survives the batch move below
+  // Names + sizes survive the batch move below (a refused drain re-enters
+  // the dirty map with its logical size).
+  std::vector<std::string> staged_names;
+  std::vector<units::Bytes> staged_sizes;
   staged.reserve(drain.size());
   staged_names.reserve(drain.size());
+  staged_sizes.reserve(drain.size());
   for (const auto& dirty_name : drain) {
     bool found = false;
     for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
@@ -311,6 +352,7 @@ StorageBackend::FlushResult TieredColdStore::flush(double now) {
       staged.push_back(
           PutRequest{dirty_name, Blob(*got.blob), got.logical_bytes});
       staged_names.push_back(dirty_name);
+      staged_sizes.push_back(got.logical_bytes);
       found = true;
       break;
     }
@@ -334,7 +376,9 @@ StorageBackend::FlushResult TieredColdStore::flush(double now) {
   stats_.fees_usd += result.request_fee_usd;
   for (std::size_t k = 0; k < staged_names.size(); ++k) {
     if (k >= res.accepted.size() || !res.accepted[k]) {
-      dirty_.insert(staged_names[k]);
+      // Insert-if-absent: a put that re-dirtied the object while the drain
+      // was in flight recorded a newer size — keep it.
+      dirty_.try_emplace(staged_names[k], staged_sizes[k]);
     }
   }
   return result;

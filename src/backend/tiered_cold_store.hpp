@@ -24,7 +24,7 @@
 #pragma once
 
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 
 #include "backend/storage_backend.hpp"
 
@@ -52,10 +52,17 @@ class TieredColdStore final : public StorageBackend {
   GetResult get(const std::string& name, double now) override;
   bool remove(const std::string& name, double now) override;
   [[nodiscard]] bool contains(const std::string& name) const override;
-  /// Authoritative bytes: the deepest tier. Write-back objects still dirty
-  /// in tier 0 are *not* counted until flush() drains them — the deep tier
-  /// is what storage billing sees.
+  /// Deduplicated logical occupancy: the deepest (authoritative) tier plus
+  /// write-back objects still dirty above it — an un-flushed object is
+  /// resident data even though storage billing has not seen it yet. (A
+  /// dirty object a bounded fast tier already evicted stays counted until
+  /// the next flush() discovers the drop.)
   [[nodiscard]] units::Bytes stored_logical_bytes() const override;
+  /// Write-through: the deepest tier (durability is authoritative there, a
+  /// put the deep tier refuses is refused overall). Write-back: the first
+  /// accepting tier holds the only copy, so distinct objects can be
+  /// resident in different tiers — the sum of tier capacities, unbounded
+  /// (0) as soon as any tier auto-scales.
   [[nodiscard]] units::Bytes capacity_bytes() const override;
   /// Sum over tiers — a stack bills every layer it keeps provisioned.
   [[nodiscard]] double idle_cost(double seconds) const override;
@@ -87,9 +94,10 @@ class TieredColdStore final : public StorageBackend {
   Config config_;
   std::vector<StorageBackend*> tiers_;
   mutable std::mutex mu_;  ///< guards dirty_ and stats_
-  /// Names accepted by a tier above the deepest and not yet made durable
-  /// there (write-back mode).
-  std::unordered_set<std::string> dirty_;
+  /// Objects accepted by a tier above the deepest and not yet made durable
+  /// there (write-back mode), with their logical sizes — occupancy must
+  /// count them even though the deep tier has not seen them.
+  std::unordered_map<std::string, units::Bytes> dirty_;
   std::uint64_t dropped_dirty_ = 0;
   OpStats stats_;
 };

@@ -52,6 +52,12 @@ double PricingCatalog::ssd_devices_cost(int devices, double seconds) const {
          units::usd_per_month(ssd_usd_per_gb_month) * seconds;
 }
 
+double PricingCatalog::interregion_transfer_cost(units::Bytes bytes,
+                                                 bool far) const {
+  return units::to_gb(bytes) *
+         (far ? far_region_usd_per_gb : interregion_usd_per_gb);
+}
+
 double PricingCatalog::keepalive_cost(int instances, double seconds) const {
   FLSTORE_CHECK(instances >= 0);
   return static_cast<double>(instances) *

@@ -33,6 +33,16 @@ struct PricingCatalog {
   double ssd_usd_per_gb_month = 0.08;
   units::Bytes ssd_device_capacity = static_cast<units::Bytes>(1.9e12);
 
+  // --- cross-region data transfer ----------------------------------------
+  // Every byte a replicated cold tier ships between regions is billed as
+  // egress from the source region: replica writes fanning out from the
+  // serving region and failover reads pulling from a remote replica both
+  // pay this. Intra-region traffic is free (AWS same-region transfer).
+  double interregion_usd_per_gb = 0.02;
+  /// Continent-crossing egress (the "far archive" path): roughly the
+  /// internet-egress tier, for replicas placed outside the home geography.
+  double far_region_usd_per_gb = 0.09;
+
   [[nodiscard]] static const PricingCatalog& aws();
 
   // Derived helpers ---------------------------------------------------------
@@ -47,6 +57,10 @@ struct PricingCatalog {
   /// Provisioned-capacity fee for `devices` NVMe devices over `seconds`.
   [[nodiscard]] double ssd_devices_cost(int devices, double seconds) const;
   [[nodiscard]] double keepalive_cost(int instances, double seconds) const;
+  /// Egress fee for shipping `bytes` across a region boundary (`far` picks
+  /// the continent-crossing rate).
+  [[nodiscard]] double interregion_transfer_cost(units::Bytes bytes,
+                                                 bool far = false) const;
 };
 
 }  // namespace flstore

@@ -32,6 +32,16 @@ namespace flstore::sim {
   return Link{80.0e-6, 2.0e9};
 }
 
+/// Inter-region WAN hop to a replica `distance` regions away from the
+/// serving region: ~30 ms of first-byte latency per hop, and an effective
+/// per-stream rate that degrades with distance (cross-continent TCP streams
+/// see a fraction of a same-geography peering link). distance 0 is the
+/// serving region itself — no WAN hop.
+[[nodiscard]] inline Link interregion_link(int distance) {
+  if (distance <= 0) return Link{0.0, 1.0e18};
+  return Link{0.03 * distance, 200.0e6 / distance};
+}
+
 /// Aggregator VM (ml.m5.4xlarge) effective single-request throughput:
 /// deserialize+scan rate and flop rate for the workload compute model.
 [[nodiscard]] inline ComputeProfile vm_profile() {

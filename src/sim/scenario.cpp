@@ -3,6 +3,7 @@
 #include "backend/cloud_cache_backend.hpp"
 #include "backend/local_ssd_backend.hpp"
 #include "backend/object_store_backend.hpp"
+#include "backend/replicated_cold_store.hpp"
 #include "common/error.hpp"
 
 namespace flstore::sim {
@@ -18,7 +19,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
 
   store_ = std::make_unique<ObjectStore>(objstore_link(),
                                          PricingCatalog::aws());
-  backend_ = make_cold_backend(config_.cold_backend);
+  backend_ = make_cold_backend(config_.cold_backend, config_.cold_replication);
 
   core::FLStoreConfig fl_cfg;
   fl_cfg.pool.replicas = config_.replicas;
@@ -74,9 +75,40 @@ std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
                                                         PricingCatalog::aws());
     }
     case backend::BackendKind::kTiered:
-      break;  // a composition, not a kind the scenario can conjure alone
+    case backend::BackendKind::kReplicated:
+      break;  // compositions, not kinds the scenario can conjure alone
   }
   throw InvalidArgument("make_cold_backend: unsupported backend kind");
+}
+
+std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
+    backend::BackendKind kind, const ColdReplicationSpec& replication) const {
+  if (replication.regions <= 1) return make_cold_backend(kind);
+  std::vector<backend::ReplicatedColdStore::Region> regions;
+  regions.reserve(static_cast<std::size_t>(replication.regions));
+  for (int i = 0; i < replication.regions; ++i) {
+    backend::ReplicatedColdStore::Region region;
+    region.name = "region-" + std::to_string(i);
+    region.wan = interregion_link(i);
+    region.far = i >= 3;  // continent-crossing past the near neighbours
+    if (kind == backend::BackendKind::kObjectStore && i > 0) {
+      // Only the serving region adapts the scenario's shared store; the
+      // replicas are private per-region buckets.
+      region.owned = std::make_unique<backend::ObjectStoreBackend>(
+          objstore_link(), PricingCatalog::aws());
+    } else {
+      // The single-backend wiring, calibration included (kObjectStore at
+      // i == 0 adapts the shared store; cache/SSD kinds own their tier
+      // either way).
+      region.owned = make_cold_backend(kind);
+    }
+    regions.push_back(std::move(region));
+  }
+  backend::ReplicatedColdStore::Config cfg;
+  cfg.write_quorum = replication.write_quorum;
+  cfg.read_repair = replication.read_repair;
+  return std::make_unique<backend::ReplicatedColdStore>(
+      std::move(regions), cfg, PricingCatalog::aws());
 }
 
 std::unique_ptr<core::FLStore> Scenario::make_flstore_over(

@@ -24,6 +24,16 @@
 
 namespace flstore::sim {
 
+/// Multi-region replication of the cold backend (off while regions <= 1).
+/// Region 0 is the serving region; region i sits i WAN hops away
+/// (sim::interregion_link) and cross-region bytes bill egress
+/// (PricingCatalog inter-region rates; distance >= 3 uses the far rate).
+struct ColdReplicationSpec {
+  int regions = 1;
+  int write_quorum = 0;  ///< 0 = majority of regions
+  bool read_repair = true;
+};
+
 struct ScenarioConfig {
   std::string model = "efficientnet_v2_s";
   std::int32_t pool_size = 250;
@@ -39,6 +49,9 @@ struct ScenarioConfig {
   /// reproduces the paper's setup bit-for-bit; kCloudCache / kLocalSsd put
   /// the whole data plane on that tier instead.
   backend::BackendKind cold_backend = backend::BackendKind::kObjectStore;
+  /// Replicate that cold tier across regions (backend::ReplicatedColdStore
+  /// composing per-region backends of `cold_backend` kind).
+  ColdReplicationSpec cold_replication;
 };
 
 class Scenario {
@@ -76,6 +89,13 @@ class Scenario {
   /// owns it and any FLStore built over it must not outlive it.
   [[nodiscard]] std::unique_ptr<backend::StorageBackend> make_cold_backend(
       backend::BackendKind kind) const;
+
+  /// Same, replicated across `replication.regions` regions: region 0 is the
+  /// serving-region backend make_cold_backend would have built (kObjectStore
+  /// still adapts the shared store), farther regions own private instances
+  /// of the same kind. regions <= 1 degrades to the plain single backend.
+  [[nodiscard]] std::unique_ptr<backend::StorageBackend> make_cold_backend(
+      backend::BackendKind kind, const ColdReplicationSpec& replication) const;
 
   /// An FLStore variant over an explicit cold backend (the benches' backend
   /// sweeps; `cache_capacity` = 1 effectively disables the serverless cache

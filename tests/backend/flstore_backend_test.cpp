@@ -9,6 +9,7 @@
 #include "backend/cloud_cache_backend.hpp"
 #include "backend/local_ssd_backend.hpp"
 #include "backend/object_store_backend.hpp"
+#include "backend/replicated_cold_store.hpp"
 #include "backend/tiered_cold_store.hpp"
 #include "core/flstore.hpp"
 #include "fed/fl_job.hpp"
@@ -145,6 +146,33 @@ TEST(FLStoreBackends, ShardedStoreAcceptsAnyBackend) {
   EXPECT_FALSE(res.output.summary.empty());
   // The tenant's cold namespace landed on the cache backend.
   EXPECT_GT(cloudcache.stored_logical_bytes(), 0U);
+}
+
+TEST(FLStoreBackends, ScenarioBuildsReplicatedColdBackend) {
+  sim::ScenarioConfig cfg;
+  cfg.rounds = 5;
+  cfg.total_requests = 10;
+  cfg.duration_s = 1000.0;
+  cfg.pool_size = 20;
+  cfg.clients_per_round = 4;
+  cfg.cold_replication.regions = 3;
+  sim::Scenario sc(cfg);
+  EXPECT_EQ(sc.cold_backend().kind(), backend::BackendKind::kReplicated);
+  auto* repl =
+      dynamic_cast<backend::ReplicatedColdStore*>(&sc.cold_backend());
+  ASSERT_NE(repl, nullptr);
+  EXPECT_EQ(repl->region_count(), 3U);
+  EXPECT_EQ(repl->write_quorum(), 2);
+
+  // Serving works unchanged through the replicated seam, and the round
+  // backup fanned out across regions (cross-region bytes billed).
+  sc.flstore().ingest_round(sc.job().make_round(0), 0.0);
+  const auto res = sc.flstore().serve(inference(1, 0), 10.0);
+  EXPECT_FALSE(res.output.summary.empty());
+  EXPECT_GT(repl->egress_fees_usd(), 0.0);
+  for (std::size_t i = 0; i < repl->region_count(); ++i) {
+    EXPECT_GT(repl->region_backend(i).stored_logical_bytes(), 0U) << i;
+  }
 }
 
 TEST(FLStoreBackends, ScenarioBuildsEveryColdBackendKind) {

@@ -241,6 +241,89 @@ TEST(LocalSsdBackendTest, BatchedPutAdmitsOnceAndChargesTheWait) {
   EXPECT_GE(res.latency_s, cold.stats().throttle_wait_s);
 }
 
+// --- batch-put latency contract (every leaf backend) ----------------------
+// PutResult documents that a refused write still pays its transfer latency:
+// the bytes travelled before the rejection. put_batch must honour the same
+// contract — the batched stream covers every *attempted* byte, not just the
+// accepted ones (regression: both bounded backends used to charge accepted
+// bytes only, making a full backend look instantaneous to write to).
+
+struct BatchContractCase {
+  const char* label;
+  /// Builds a backend; bounded kinds reject `huge_bytes()` outright.
+  std::unique_ptr<StorageBackend> (*make)();
+  Link link;
+  bool rejects;  ///< whether the huge item is refused (object store scales)
+};
+
+units::Bytes huge_bytes() {
+  return 4 * PricingCatalog::aws().cache_node_capacity;
+}
+
+const BatchContractCase kBatchContractCases[] = {
+    {"cloud-cache",
+     +[]() -> std::unique_ptr<StorageBackend> {
+       CloudCacheBackend::Config cfg;
+       cfg.auto_scale = false;
+       cfg.nodes = 1;
+       cfg.link = sim::cloudcache_link();
+       return std::make_unique<CloudCacheBackend>(cfg, PricingCatalog::aws());
+     },
+     sim::cloudcache_link(), true},
+    {"local-ssd",
+     +[]() -> std::unique_ptr<StorageBackend> {
+       LocalSsdBackend::Config cfg;
+       cfg.auto_scale = false;
+       cfg.link = sim::local_ssd_link();
+       auto cold = std::make_unique<LocalSsdBackend>(cfg,
+                                                     PricingCatalog::aws());
+       // Fill the single device so further puts are refused.
+       cold->put("filler", Blob{1},
+                 PricingCatalog::aws().ssd_device_capacity, 0.0);
+       return cold;
+     },
+     sim::local_ssd_link(), true},
+    {"object-store",
+     +[]() -> std::unique_ptr<StorageBackend> {
+       static ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
+       return std::make_unique<ObjectStoreBackend>(store);
+     },
+     sim::objstore_link(), false},
+};
+
+class BatchRejectionLatency
+    : public ::testing::TestWithParam<BatchContractCase> {};
+
+TEST_P(BatchRejectionLatency, RefusedItemsStillPayTheirTransfer) {
+  const auto& param = GetParam();
+  auto cold = param.make();
+  std::vector<PutRequest> batch;
+  batch.push_back(PutRequest{"accepted-or-not", Blob{1}, 1 * units::MB});
+  batch.push_back(PutRequest{"huge", Blob{2}, huge_bytes()});
+  const auto res = cold->put_batch(std::move(batch), 0.0);
+  if (param.rejects) {
+    EXPECT_LT(res.stored, 2U) << param.label;
+    EXPECT_GT(cold->stats().rejected_puts, 0U) << param.label;
+  } else {
+    EXPECT_EQ(res.stored, 2U) << param.label;
+  }
+  // The stream time covers all attempted bytes either way.
+  EXPECT_NEAR(res.latency_s,
+              param.link.transfer_time(1 * units::MB + huge_bytes()), 1e-9)
+      << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BatchRejectionLatency,
+    ::testing::ValuesIn(kBatchContractCases),
+    [](const ::testing::TestParamInfo<BatchContractCase>& info) {
+      std::string name = info.param.label;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
 TEST(LocalSsdBackendTest, RemoveReleasesBytes) {
   LocalSsdBackend::Config cfg;
   LocalSsdBackend cold(cfg, PricingCatalog::aws());

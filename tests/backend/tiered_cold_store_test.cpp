@@ -298,5 +298,160 @@ TEST(TieredWriteBackFlushRejection, RefusedDrainStaysDirtyForRetry) {
   EXPECT_TRUE(tiered.get("y", 3.0).found);
 }
 
+TEST(TieredPromotionOrdering, PromotionAdmitsAtReadCompletionNotIssueTime) {
+  // Regression: the promotion put used to be stamped at `now`, letting it
+  // consume a fast-tier throttle token *before* the deep-tier read that
+  // produces its bytes had completed — promotions jumped the throttle
+  // queue ahead of the request that caused them.
+  ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
+  ObjectStoreBackend deep(store);
+  LocalSsdBackend::Config ssd_cfg;
+  ssd_cfg.link = sim::local_ssd_link();
+  ssd_cfg.throttle = Throttle::Config{/*ops_per_s=*/1.0, /*burst_ops=*/2.0};
+  LocalSsdBackend fast(ssd_cfg, PricingCatalog::aws());
+  store.put("k", Blob(64), 10 * units::MB);
+  TieredColdStore tiered({&fast, &deep});
+
+  const auto got = tiered.get("k", 0.0);  // probe takes one of two tokens
+  ASSERT_TRUE(got.found);
+  const double read_done = got.latency_s;  // ~1.4 s deep-tier transfer
+  ASSERT_GT(read_done, 1.0);
+  EXPECT_TRUE(fast.contains("k"));  // promotion did land
+
+  // An op issued at 0.5 — after the get was issued, before its deep read
+  // completed — must find the second token free: the promotion's token is
+  // only consumed at read-completion time, behind this op.
+  const auto mid = fast.get("unrelated", 0.5);
+  EXPECT_NEAR(mid.latency_s, sim::local_ssd_link().first_byte_latency_s,
+              1e-12);
+  EXPECT_EQ(fast.stats().throttled_ops, 0U);
+  EXPECT_DOUBLE_EQ(fast.stats().throttle_wait_s, 0.0);
+}
+
+TEST(TieredOccupancy, DirtyResidentsCountInStoredLogicalBytes) {
+  // Regression: occupancy used to report only the deepest tier, so a
+  // write-back store with un-flushed objects claimed zero resident bytes
+  // while dirty_count() was nonzero.
+  ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
+  ObjectStoreBackend deep(store);
+  LocalSsdBackend::Config ssd_cfg;
+  ssd_cfg.link = sim::local_ssd_link();
+  LocalSsdBackend fast(ssd_cfg, PricingCatalog::aws());
+  TieredColdStore::Config cfg;
+  cfg.write_mode = TieredColdStore::WriteMode::kWriteBack;
+  TieredColdStore tiered({&fast, &deep}, cfg);
+
+  ASSERT_TRUE(tiered.put("a", Blob{1}, 3 * units::MB, 0.0).accepted);
+  ASSERT_TRUE(tiered.put("b", Blob{2}, 2 * units::MB, 1.0).accepted);
+  EXPECT_EQ(tiered.dirty_count(), 2U);
+  EXPECT_EQ(deep.stored_logical_bytes(), 0U);
+  EXPECT_EQ(tiered.stored_logical_bytes(), 5 * units::MB);
+
+  // Draining moves the bytes to the deep tier without double counting.
+  EXPECT_EQ(tiered.flush(2.0).drained, 2U);
+  EXPECT_EQ(tiered.stored_logical_bytes(), 5 * units::MB);
+
+  // An overwritten object keeps its (stale) deep-tier copy until flush, so
+  // the deduplicated count stays at the deep version's size until the
+  // drain replaces it with the new one.
+  ASSERT_TRUE(tiered.put("a", Blob{3}, 4 * units::MB, 3.0).accepted);
+  EXPECT_EQ(tiered.stored_logical_bytes(), 5 * units::MB);
+  EXPECT_EQ(tiered.flush(4.0).drained, 1U);
+  EXPECT_EQ(tiered.stored_logical_bytes(), 6 * units::MB);
+}
+
+TEST(TieredOccupancy, CapacityReflectsTheWriteMode) {
+  CloudCacheBackend::Config cache_cfg;
+  cache_cfg.auto_scale = false;
+  cache_cfg.nodes = 1;
+  cache_cfg.link = sim::cloudcache_link();
+  CloudCacheBackend fast(cache_cfg, PricingCatalog::aws());
+  LocalSsdBackend::Config ssd_cfg;
+  ssd_cfg.auto_scale = false;
+  ssd_cfg.link = sim::local_ssd_link();
+  LocalSsdBackend deep(ssd_cfg, PricingCatalog::aws());
+
+  // Write-through: durability is authoritative in the deepest tier.
+  TieredColdStore through({&fast, &deep});
+  EXPECT_EQ(through.capacity_bytes(), deep.capacity_bytes());
+
+  // Write-back: distinct objects can be resident in different tiers.
+  TieredColdStore::Config wb;
+  wb.write_mode = TieredColdStore::WriteMode::kWriteBack;
+  TieredColdStore back({&fast, &deep}, wb);
+  EXPECT_EQ(back.capacity_bytes(),
+            fast.capacity_bytes() + deep.capacity_bytes());
+
+  // Any auto-scaling tier makes the write-back composition unbounded.
+  ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
+  ObjectStoreBackend unbounded(store);
+  TieredColdStore open({&fast, &unbounded}, wb);
+  EXPECT_EQ(open.capacity_bytes(), 0U);
+}
+
+TEST(TieredLedger, InvalidationOnlyRemovesFromTiersThatHoldACopy) {
+  // Regression: write-through used to call remove() on a tier for every
+  // item the tier rejected — including items that tier never held,
+  // inflating its OpStats::removes ledger.
+  ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
+  ObjectStoreBackend deep(store);
+  CloudCacheBackend::Config cache_cfg;
+  cache_cfg.auto_scale = false;
+  cache_cfg.nodes = 1;
+  cache_cfg.link = sim::cloudcache_link();
+  CloudCacheBackend fast(cache_cfg, PricingCatalog::aws());
+  TieredColdStore tiered({&fast, &deep});
+
+  const auto huge = 2 * PricingCatalog::aws().cache_node_capacity;
+  // Fresh writes the cache refuses: no copy to invalidate, so no remove.
+  ASSERT_TRUE(tiered.put("huge-single", Blob{1}, huge, 0.0).accepted);
+  std::vector<PutRequest> batch;
+  batch.push_back(PutRequest{"huge-batch", Blob{2}, huge});
+  batch.push_back(PutRequest{"small", Blob{3}, 1 * units::MB});
+  const auto res = tiered.put_batch(std::move(batch), 1.0);
+  EXPECT_EQ(res.stored, 2U);
+  EXPECT_EQ(fast.stats().removes, 0U);
+
+  // An overwrite the cache refuses *does* invalidate its stale copy —
+  // exactly one remove, for exactly the object it held.
+  ASSERT_TRUE(fast.contains("small"));
+  ASSERT_TRUE(tiered.put("small", Blob{4}, huge, 2.0).accepted);
+  EXPECT_FALSE(fast.contains("small"));
+  EXPECT_EQ(fast.stats().removes, 1U);
+}
+
+TEST(TieredWriteBackPromotionEviction, PromotionEvictingDirtyIsCounted) {
+  // A promotion into a bounded write-back fast tier can LRU-evict a
+  // *dirty* object: the un-flushed bytes are gone, and the crash window
+  // must be visible in dropped_dirty_count() after flush().
+  ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
+  ObjectStoreBackend deep(store);
+  CloudCacheBackend::Config cache_cfg;
+  cache_cfg.auto_scale = false;
+  cache_cfg.nodes = 1;
+  cache_cfg.link = sim::cloudcache_link();
+  CloudCacheBackend fast(cache_cfg, PricingCatalog::aws());
+  TieredColdStore::Config cfg;
+  cfg.write_mode = TieredColdStore::WriteMode::kWriteBack;
+  TieredColdStore tiered({&fast, &deep}, cfg);
+
+  const auto node = PricingCatalog::aws().cache_node_capacity;
+  ASSERT_TRUE(tiered.put("dirty", Blob{7}, node / 2, 0.0).accepted);
+  EXPECT_EQ(tiered.dirty_count(), 1U);
+
+  // An object living only in the deep tier, big enough that promoting it
+  // evicts the dirty resident.
+  store.put("cold-obj", Blob{5}, (3 * node) / 4);
+  ASSERT_TRUE(tiered.get("cold-obj", 1.0).found);
+  EXPECT_TRUE(fast.contains("cold-obj"));   // promoted
+  EXPECT_FALSE(fast.contains("dirty"));     // evicted before any flush
+  EXPECT_EQ(fast.evictions(), 1U);
+
+  const auto flushed = tiered.flush(2.0);
+  EXPECT_EQ(flushed.drained, 0U);
+  EXPECT_EQ(tiered.dropped_dirty_count(), 1U);
+  EXPECT_EQ(tiered.dirty_count(), 0U);
+}
+
 }  // namespace
 }  // namespace flstore::backend

@@ -46,6 +46,16 @@ TEST(Pricing, CacheNodeHourCost) {
   EXPECT_DOUBLE_EQ(p.cache_nodes_cost(0, 3600.0), 0.0);
 }
 
+TEST(Pricing, InterRegionTransferCost) {
+  // 50 GB across a region boundary at $0.02/GB; the far (continent-
+  // crossing) rate is strictly dearer.
+  EXPECT_NEAR(p.interregion_transfer_cost(50 * GB), 50 * 0.02, 1e-9);
+  EXPECT_NEAR(p.interregion_transfer_cost(50 * GB, /*far=*/true), 50 * 0.09,
+              1e-9);
+  EXPECT_GT(p.far_region_usd_per_gb, p.interregion_usd_per_gb);
+  EXPECT_DOUBLE_EQ(p.interregion_transfer_cost(0), 0.0);
+}
+
 TEST(Pricing, KeepAliveMonthlyCost) {
   // Paper §4.5: pinging every minute costs $0.0087 per instance-month.
   EXPECT_NEAR(p.keepalive_cost(1, 30.0 * 86400.0), 0.0087, 1e-9);
