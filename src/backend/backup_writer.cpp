@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "backend/flush_scheduler.hpp"
+
 namespace flstore::backend {
 
 BackupWriter::BackupWriter(StorageBackend& backend, CostMeter& meter,
@@ -31,12 +33,21 @@ std::size_t BackupWriter::flush(double now) {
   const auto batch_size = batch.size();
   const auto res = backend_->put_batch(std::move(batch), now);
   meter_->charge(CostCategory::kStorageService, res.request_fee_usd);
-  const std::scoped_lock lock(mu_);
-  ++stats_.flushes;
-  stats_.objects_written += res.stored;
-  stats_.rejected += batch_size - res.stored;
-  stats_.fees_usd += res.request_fee_usd;
-  stats_.write_latency_s += res.latency_s;
+  {
+    const std::scoped_lock lock(mu_);
+    ++stats_.flushes;
+    stats_.objects_written += res.stored;
+    stats_.rejected += batch_size - res.stored;
+    stats_.fees_usd += res.request_fee_usd;
+    stats_.write_latency_s += res.latency_s;
+  }
+  if (scheduler_ != nullptr) {
+    // The ingest cadence drives the write-back drainer: every batch the
+    // writer lands is an observation point, so age/byte thresholds fire
+    // mid-round without any explicit flush() call.
+    const auto drained = scheduler_->observe(now);
+    meter_->charge(CostCategory::kStorageService, drained.request_fee_usd);
+  }
   return res.stored;
 }
 

@@ -24,6 +24,8 @@
 
 namespace flstore::backend {
 
+class FlushScheduler;
+
 class BackupWriter {
  public:
   struct Config {
@@ -63,9 +65,19 @@ class BackupWriter {
   [[nodiscard]] std::size_t pending() const;
   [[nodiscard]] Stats stats() const;
 
+  /// Let `scheduler` observe the backend after every batch drain — the
+  /// ingest-cadence hook that makes write-back age/byte thresholds fire
+  /// mid-round instead of waiting for the round boundary. Drain fees the
+  /// observation triggers are charged to this writer's meter. nullptr
+  /// detaches. Non-owning; the scheduler must outlive the writer.
+  void set_flush_scheduler(FlushScheduler* scheduler) noexcept {
+    scheduler_ = scheduler;
+  }
+
  private:
   StorageBackend* backend_;
   CostMeter* meter_;
+  FlushScheduler* scheduler_ = nullptr;
   Config config_;
   mutable std::mutex mu_;
   std::vector<PutRequest> pending_;

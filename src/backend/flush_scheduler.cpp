@@ -1,0 +1,136 @@
+#include "backend/flush_scheduler.hpp"
+
+#include <algorithm>
+
+namespace flstore::backend {
+
+FlushScheduler::FlushScheduler(StorageBackend& backend, FlushPolicy policy)
+    : backend_(&backend), policy_(policy) {}
+
+void FlushScheduler::advance_locked(double to,
+                                    const StorageBackend::DirtyWindow& w) {
+  if (to > last_sample_s_) {
+    // Trapezoid between samples: the window moved from last_bytes_ to
+    // w.bytes at unknown instants inside the gap; the average is the
+    // unbiased choice and is exact whenever observes bracket every put.
+    ledger_.bytes_at_risk_integral +=
+        0.5 *
+        (static_cast<double>(last_bytes_) + static_cast<double>(w.bytes)) *
+        (to - last_sample_s_);
+    last_sample_s_ = to;
+  }
+  last_bytes_ = w.bytes;
+  ledger_.peak_dirty_bytes = std::max(ledger_.peak_dirty_bytes, w.bytes);
+  if (w.objects > 0) {
+    const double age = std::max(0.0, to - w.oldest_since_s);
+    ledger_.peak_oldest_dirty_age_s =
+        std::max(ledger_.peak_oldest_dirty_age_s, age);
+  }
+}
+
+void FlushScheduler::book_locked(const StorageBackend::FlushResult& r,
+                                 std::uint64_t DirtyWindowStats::* trigger,
+                                 StorageBackend::FlushResult& total) {
+  total.drained += r.drained;
+  total.drained_bytes += r.drained_bytes;
+  total.refused += r.refused;
+  total.refused_bytes += r.refused_bytes;
+  total.request_fee_usd += r.request_fee_usd;
+  if (r.drained == 0 && r.refused == 0) return;  // nothing was pending
+  ++ledger_.flushes;
+  ++(ledger_.*trigger);
+  ledger_.drained_objects += r.drained;
+  ledger_.drained_bytes += r.drained_bytes;
+  ledger_.refused_drains += r.refused;
+  ledger_.drain_fees_usd += r.request_fee_usd;
+}
+
+StorageBackend::FlushResult FlushScheduler::observe(double now,
+                                                    bool round_boundary) {
+  const std::scoped_lock lock(mu_);
+  StorageBackend::FlushResult total;
+  auto window = backend_->dirty_window();
+  if (policy_.max_dirty_age_s > 0.0) {
+    // Every deadline that expired before `now` fires retroactively at the
+    // deadline itself — the moment the daemon would have woken — and the
+    // flush_window cutoff keeps writes issued after it out of the drain.
+    while (window.objects > 0 &&
+           window.oldest_since_s + policy_.max_dirty_age_s <= now) {
+      const double fire =
+          std::max(window.oldest_since_s + policy_.max_dirty_age_s,
+                   last_sample_s_);
+      advance_locked(fire, window);
+      const auto drained =
+          backend_->flush_window(fire, fire, policy_.max_drain_objects);
+      book_locked(drained, &DirtyWindowStats::age_flushes, total);
+      const auto next = backend_->dirty_window();
+      // Zero-length resample at the fire time: the window just shrank
+      // *there*, and the trapezoid to `now` must integrate the post-drain
+      // bytes, not carry the pre-drain level across the rest of the gap.
+      advance_locked(fire, next);
+      if (next.objects == window.objects) break;  // durable tier refusing
+      window = next;
+    }
+  }
+  advance_locked(now, window);
+  if (policy_.max_dirty_bytes > 0) {
+    while (window.objects > 0 && window.bytes >= policy_.max_dirty_bytes) {
+      const auto drained =
+          backend_->flush_window(now, now, policy_.max_drain_objects);
+      book_locked(drained, &DirtyWindowStats::byte_flushes, total);
+      const auto next = backend_->dirty_window();
+      if (next.objects == window.objects) break;  // durable tier refusing
+      window = next;
+    }
+  }
+  if (round_boundary && policy_.flush_on_round_boundary) {
+    const auto drained = backend_->flush(now);
+    book_locked(drained, &DirtyWindowStats::round_flushes, total);
+    window = backend_->dirty_window();
+  }
+  advance_locked(now, window);
+  return total;
+}
+
+StorageBackend::FlushResult FlushScheduler::flush_now(double now) {
+  const std::scoped_lock lock(mu_);
+  advance_locked(now, backend_->dirty_window());
+  StorageBackend::FlushResult total;
+  const auto drained = backend_->flush(now);
+  book_locked(drained, &DirtyWindowStats::manual_flushes, total);
+  advance_locked(now, backend_->dirty_window());
+  return total;
+}
+
+StorageBackend::CrashResult FlushScheduler::crash(double now) {
+  const std::scoped_lock lock(mu_);
+  advance_locked(now, backend_->dirty_window());
+  const auto lost = backend_->crash(now);
+  ++ledger_.crashes;
+  ledger_.lost_objects += lost.lost_objects;
+  ledger_.lost_bytes += lost.lost_bytes;
+  advance_locked(now, backend_->dirty_window());
+  return lost;
+}
+
+DirtyWindowStats FlushScheduler::dirty_window_stats(double now) const {
+  const std::scoped_lock lock(mu_);
+  DirtyWindowStats stats = ledger_;
+  const auto window = backend_->dirty_window();
+  stats.dirty_bytes = window.bytes;
+  stats.acked_unflushed = window.objects;
+  stats.oldest_dirty_age_s =
+      window.objects > 0 ? std::max(0.0, now - window.oldest_since_s) : 0.0;
+  if (now > last_sample_s_) {
+    stats.bytes_at_risk_integral +=
+        0.5 *
+        (static_cast<double>(last_bytes_) + static_cast<double>(window.bytes)) *
+        (now - last_sample_s_);
+  }
+  stats.peak_dirty_bytes = std::max(stats.peak_dirty_bytes, window.bytes);
+  stats.peak_oldest_dirty_age_s =
+      std::max(stats.peak_oldest_dirty_age_s, stats.oldest_dirty_age_s);
+  return stats;
+}
+
+}  // namespace flstore::backend

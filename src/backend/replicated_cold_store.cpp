@@ -1,6 +1,7 @@
 #include "backend/replicated_cold_store.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -430,16 +431,55 @@ double ReplicatedColdStore::idle_cost(double seconds) const {
 }
 
 StorageBackend::FlushResult ReplicatedColdStore::flush(double now) {
+  return flush_window(now, std::numeric_limits<double>::infinity(), 0);
+}
+
+StorageBackend::FlushResult ReplicatedColdStore::flush_window(
+    double now, double dirty_before, std::size_t max_objects) {
   // Drain every region's deferred writes; the logical number of objects
-  // made durable is the most complete region's drain.
+  // made durable (and refused) is the most complete region's drain — the
+  // fees are real everywhere.
   FlushResult result;
   for (auto& region : regions_) {
-    const auto region_res = region.resolved->flush(now);
+    const auto region_res =
+        region.resolved->flush_window(now, dirty_before, max_objects);
     result.drained = std::max(result.drained, region_res.drained);
+    result.drained_bytes =
+        std::max(result.drained_bytes, region_res.drained_bytes);
+    result.refused = std::max(result.refused, region_res.refused);
+    result.refused_bytes =
+        std::max(result.refused_bytes, region_res.refused_bytes);
     result.request_fee_usd += region_res.request_fee_usd;
   }
   const std::scoped_lock lock(mu_);
   stats_.fees_usd += result.request_fee_usd;
+  return result;
+}
+
+StorageBackend::DirtyWindow ReplicatedColdStore::dirty_window() const {
+  DirtyWindow window;
+  bool first = true;
+  for (const auto& region : regions_) {
+    const auto region_window = region.resolved->dirty_window();
+    window.objects = std::max(window.objects, region_window.objects);
+    window.bytes = std::max(window.bytes, region_window.bytes);
+    if (region_window.objects > 0 &&
+        (first || region_window.oldest_since_s < window.oldest_since_s)) {
+      window.oldest_since_s = region_window.oldest_since_s;
+      first = false;
+    }
+  }
+  return window;
+}
+
+StorageBackend::CrashResult ReplicatedColdStore::crash(double now) {
+  CrashResult result;
+  for (auto& region : regions_) {
+    const auto region_res = region.resolved->crash(now);
+    result.lost_objects = std::max(result.lost_objects,
+                                   region_res.lost_objects);
+    result.lost_bytes = std::max(result.lost_bytes, region_res.lost_bytes);
+  }
   return result;
 }
 

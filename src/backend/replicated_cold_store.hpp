@@ -110,6 +110,15 @@ class ReplicatedColdStore final : public StorageBackend {
   /// Sum over regions — every replica is provisioned and billed.
   [[nodiscard]] double idle_cost(double seconds) const override;
   FlushResult flush(double now) override;
+  FlushResult flush_window(double now, double dirty_before,
+                           std::size_t max_objects) override;
+  /// The most-indebted region's window (regions replicate the same logical
+  /// objects, so the worst region bounds the composition's durability gap);
+  /// oldest_since_s is the oldest stamp across all regions.
+  [[nodiscard]] DirtyWindow dirty_window() const override;
+  /// Crash every region's write-back caching tiers at once (the correlated
+  /// worst case); the logical loss reported is the worst region's.
+  CrashResult crash(double now) override;
   [[nodiscard]] BackendKind kind() const noexcept override {
     return BackendKind::kReplicated;
   }

@@ -176,7 +176,14 @@ class StorageBackend {
   virtual bool remove(const std::string& name, double now) = 0;
 
   struct FlushResult {
-    std::size_t drained = 0;       ///< objects made durable by this drain
+    std::size_t drained = 0;            ///< objects made durable by this drain
+    units::Bytes drained_bytes = 0;     ///< logical bytes those objects cover
+    /// Objects the durable tier refused mid-drain (full fixed tier,
+    /// throttle-bounded endpoint): they *stay dirty* for the next flush.
+    /// Callers scheduling drains assert forward progress on these counts
+    /// instead of polling stored_logical_bytes().
+    std::size_t refused = 0;
+    units::Bytes refused_bytes = 0;
     double request_fee_usd = 0.0;  ///< drain-read GETs + deep-tier PUTs
   };
 
@@ -186,6 +193,46 @@ class StorageBackend {
   /// this and charge the returned fees; simple backends have nothing
   /// deferred and return {}.
   virtual FlushResult flush(double now) {
+    (void)now;
+    return {};
+  }
+
+  /// Bounded drain for flush *schedulers*: make durable only objects that
+  /// were dirtied at or before `dirty_before` (simulated time), at most
+  /// `max_objects` of them (0 = no cap), oldest-first. This is how an
+  /// age-threshold daemon fires retroactively at the deadline without
+  /// acausally draining writes that happened after it, and how a byte
+  /// threshold drains in throttle-sized slices that cannot starve reads.
+  /// Backends with nothing deferred fall back to flush().
+  virtual FlushResult flush_window(double now, double dirty_before,
+                                   std::size_t max_objects) {
+    (void)dirty_before;
+    (void)max_objects;
+    return flush(now);
+  }
+
+  /// Crash-consistency introspection: the write-back dirty window — objects
+  /// acknowledged to callers but not yet durable in the authoritative tier.
+  /// Simple (synchronously durable) backends are always clean.
+  struct DirtyWindow {
+    std::size_t objects = 0;      ///< acked-but-unflushed object count
+    units::Bytes bytes = 0;       ///< logical bytes at risk
+    double oldest_since_s = 0.0;  ///< when the oldest entry went dirty
+                                  ///< (meaningful only when objects > 0)
+  };
+  [[nodiscard]] virtual DirtyWindow dirty_window() const { return {}; }
+
+  struct CrashResult {
+    std::size_t lost_objects = 0;    ///< acked writes that did not survive
+    units::Bytes lost_bytes = 0;
+  };
+
+  /// Model a crash at `now` that loses the dirty window: every un-flushed
+  /// object reverts to its last durable version (or vanishes, if it never
+  /// reached the authoritative tier). Returns what was lost so a
+  /// crash-consistency ledger can book it. Synchronously durable backends
+  /// lose nothing.
+  virtual CrashResult crash(double now) {
     (void)now;
     return {};
   }

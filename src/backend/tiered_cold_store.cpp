@@ -1,6 +1,7 @@
 #include "backend/tiered_cold_store.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -39,11 +40,11 @@ PutResult TieredColdStore::put(const std::string& name, Blob blob,
       }
       const std::scoped_lock lock(mu_);
       if (i + 1 < tiers_.size()) {
-        dirty_[name] = logical;
+        mark_dirty_locked(name, logical, now);
       } else {
         // Landed durable directly; an earlier fast-tier version may have
         // left a dirty marker — clear it or flush() reports a false drop.
-        dirty_.erase(name);
+        clear_dirty_locked(name);
       }
       break;
     }
@@ -111,7 +112,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         written += logical;
         if (tiers_.size() > 1) {
           const std::scoped_lock lock(mu_);
-          dirty_[item.name] = logical;
+          mark_dirty_locked(item.name, logical, now);
         }
         continue;
       }
@@ -139,9 +140,9 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         {
           const std::scoped_lock lock(mu_);
           if (j + 1 < tiers_.size()) {
-            dirty_[item.name] = logical;
+            mark_dirty_locked(item.name, logical, now);
           } else {
-            dirty_.erase(item.name);  // durable now; see put()
+            clear_dirty_locked(item.name);  // durable now; see put()
           }
         }
         break;
@@ -256,7 +257,7 @@ bool TieredColdStore::remove(const std::string& name, double now) {
   bool removed = false;
   for (auto* tier : tiers_) removed = tier->remove(name, now) || removed;
   const std::scoped_lock lock(mu_);
-  dirty_.erase(name);
+  clear_dirty_locked(name);
   ++stats_.removes;
   return removed;
 }
@@ -273,8 +274,8 @@ units::Bytes TieredColdStore::stored_logical_bytes() const {
   // un-flushed write-back object invisible while dirty_count() is nonzero.
   units::Bytes total = tiers_.back()->stored_logical_bytes();
   const std::scoped_lock lock(mu_);
-  for (const auto& [dirty_name, logical] : dirty_) {
-    if (!tiers_.back()->contains(dirty_name)) total += logical;
+  for (const auto& [dirty_name, info] : dirty_) {
+    if (!tiers_.back()->contains(dirty_name)) total += info.bytes;
   }
   return total;
 }
@@ -319,40 +320,62 @@ OpStats TieredColdStore::stats() const {
 }
 
 StorageBackend::FlushResult TieredColdStore::flush(double now) {
+  return flush_window(now, std::numeric_limits<double>::infinity(), 0);
+}
+
+StorageBackend::FlushResult TieredColdStore::flush_window(
+    double now, double dirty_before, std::size_t max_objects) {
   FlushResult result;
-  std::vector<std::string> drain;
+  struct Candidate {
+    std::string name;
+    units::Bytes bytes = 0;
+    double since_s = 0.0;
+  };
+  std::vector<Candidate> drain;
   {
     const std::scoped_lock lock(mu_);
     drain.reserve(dirty_.size());
-    for (const auto& entry : dirty_) drain.push_back(entry.first);
-    dirty_.clear();
+    for (const auto& [dirty_name, info] : dirty_) {
+      if (info.since_s <= dirty_before) {
+        drain.push_back(Candidate{dirty_name, info.bytes, info.since_s});
+      }
+    }
   }
   if (drain.empty() || tiers_.size() < 2) return result;
-  // Deterministic drain order regardless of hash-map iteration.
-  std::sort(drain.begin(), drain.end());
+  // Oldest-first (name tie-break): deterministic regardless of hash-map
+  // iteration, and a capped drain retires the oldest durability debt first
+  // — exactly what an age-threshold scheduler needs.
+  std::sort(drain.begin(), drain.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.since_s != b.since_s ? a.since_s < b.since_s
+                                            : a.name < b.name;
+            });
+  if (max_objects > 0 && drain.size() > max_objects) drain.resize(max_objects);
+  {
+    const std::scoped_lock lock(mu_);
+    for (const auto& candidate : drain) clear_dirty_locked(candidate.name);
+  }
   // Each dirty object is read from the shallowest tier still holding it.
   // Drain reads go through the tier's normal read path on purpose: a real
   // drain does occupy the device/endpoint, so the reads belong in its op
   // ledger (and its LRU recency — flushing keeps dirty data warm).
   std::vector<PutRequest> staged;
-  // Names + sizes survive the batch move below (a refused drain re-enters
-  // the dirty map with its logical size).
-  std::vector<std::string> staged_names;
-  std::vector<units::Bytes> staged_sizes;
+  // Names + sizes + stamps survive the batch move below (a refused drain
+  // re-enters the dirty map with its logical size and original stamp).
+  std::vector<Candidate> staged_info;
   staged.reserve(drain.size());
-  staged_names.reserve(drain.size());
-  staged_sizes.reserve(drain.size());
-  for (const auto& dirty_name : drain) {
+  staged_info.reserve(drain.size());
+  for (const auto& candidate : drain) {
     bool found = false;
     for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
-      if (!tiers_[i]->contains(dirty_name)) continue;
-      auto got = tiers_[i]->get(dirty_name, now);
+      if (!tiers_[i]->contains(candidate.name)) continue;
+      auto got = tiers_[i]->get(candidate.name, now);
       if (!got.found) break;
       result.request_fee_usd += got.request_fee_usd;
       staged.push_back(
-          PutRequest{dirty_name, Blob(*got.blob), got.logical_bytes});
-      staged_names.push_back(dirty_name);
-      staged_sizes.push_back(got.logical_bytes);
+          PutRequest{candidate.name, Blob(*got.blob), got.logical_bytes});
+      staged_info.push_back(
+          Candidate{candidate.name, got.logical_bytes, candidate.since_s});
       found = true;
       break;
     }
@@ -374,14 +397,97 @@ StorageBackend::FlushResult TieredColdStore::flush(double now) {
   result.request_fee_usd += res.request_fee_usd;
   const std::scoped_lock lock(mu_);
   stats_.fees_usd += result.request_fee_usd;
-  for (std::size_t k = 0; k < staged_names.size(); ++k) {
-    if (k >= res.accepted.size() || !res.accepted[k]) {
-      // Insert-if-absent: a put that re-dirtied the object while the drain
-      // was in flight recorded a newer size — keep it.
-      dirty_.try_emplace(staged_names[k], staged_sizes[k]);
+  for (std::size_t k = 0; k < staged_info.size(); ++k) {
+    if (k < res.accepted.size() && res.accepted[k]) {
+      result.drained_bytes += staged_info[k].bytes;
+      continue;
+    }
+    ++result.refused;
+    result.refused_bytes += staged_info[k].bytes;
+    // The debt keeps its original dirty-since stamp: the durable tier has
+    // been stale since the ack, not since this failed retry.
+    mark_dirty_refused_locked(staged_info[k].name, staged_info[k].bytes,
+                              staged_info[k].since_s);
+  }
+  return result;
+}
+
+StorageBackend::DirtyWindow TieredColdStore::dirty_window() const {
+  // O(1) snapshot from the incremental bookkeeping: flush schedulers call
+  // this on every ingest observation, so it must not rescan the map.
+  const std::scoped_lock lock(mu_);
+  DirtyWindow window;
+  window.objects = dirty_.size();
+  window.bytes = dirty_bytes_;
+  if (!dirty_stamps_.empty()) window.oldest_since_s = *dirty_stamps_.begin();
+  return window;
+}
+
+StorageBackend::CrashResult TieredColdStore::crash(double now) {
+  CrashResult result;
+  std::vector<std::string> lost;
+  {
+    const std::scoped_lock lock(mu_);
+    lost.reserve(dirty_.size());
+    for (const auto& [dirty_name, info] : dirty_) {
+      lost.push_back(dirty_name);
+      ++result.lost_objects;
+      result.lost_bytes += info.bytes;
+    }
+    dirty_.clear();
+    dirty_bytes_ = 0;
+    dirty_stamps_.clear();
+  }
+  // Drop the caching tiers' copies of the lost window (deterministic
+  // order); reads now revert to the deepest tier's last flushed version or
+  // miss. The sim has no wipe primitive, so the loss is modelled as
+  // removes — clean cached copies survive, because only the dirty window's
+  // loss breaks an acknowledgement.
+  std::sort(lost.begin(), lost.end());
+  for (const auto& lost_name : lost) {
+    for (std::size_t i = 0; i + 1 < tiers_.size(); ++i) {
+      if (tiers_[i]->contains(lost_name)) {
+        (void)tiers_[i]->remove(lost_name, now);
+      }
     }
   }
   return result;
+}
+
+void TieredColdStore::mark_dirty_locked(const std::string& name,
+                                        units::Bytes logical, double now) {
+  const auto [it, inserted] = dirty_.try_emplace(name, Dirty{logical, now});
+  if (inserted) {
+    dirty_bytes_ += logical;
+    dirty_stamps_.insert(now);
+    return;
+  }
+  // Overwrite of an already-dirty object: new size, original stamp — the
+  // deep tier has been stale since the first un-flushed ack.
+  dirty_bytes_ += logical - it->second.bytes;
+  it->second.bytes = logical;
+}
+
+void TieredColdStore::clear_dirty_locked(const std::string& name) {
+  const auto it = dirty_.find(name);
+  if (it == dirty_.end()) return;
+  dirty_bytes_ -= it->second.bytes;
+  const auto stamp = dirty_stamps_.find(it->second.since_s);
+  if (stamp != dirty_stamps_.end()) dirty_stamps_.erase(stamp);
+  dirty_.erase(it);
+}
+
+void TieredColdStore::mark_dirty_refused_locked(const std::string& name,
+                                                units::Bytes logical,
+                                                double since) {
+  // Insert-if-absent: a put that re-dirtied the object while the drain was
+  // in flight recorded a newer size (and its own stamp) — keep it.
+  const auto [it, inserted] = dirty_.try_emplace(name, Dirty{logical, since});
+  (void)it;
+  if (inserted) {
+    dirty_bytes_ += logical;
+    dirty_stamps_.insert(since);
+  }
 }
 
 std::size_t TieredColdStore::dirty_count() const {

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <mutex>
+#include <set>
 #include <unordered_map>
 
 #include "backend/storage_backend.hpp"
@@ -75,10 +76,31 @@ class TieredColdStore final : public StorageBackend {
   /// Write-back only: make dirty objects durable in the deepest tier (one
   /// batched multi-put; middle tiers refill via promotion). Objects the
   /// deepest tier refuses stay dirty for the next flush. Returns the
-  /// number of objects that became durable plus the fees the drain paid
-  /// (read-back GETs + deep-tier PUTs) for the caller's meter. No-op in
-  /// write-through mode or with nothing dirty.
+  /// drained / refused object+byte counts plus the fees the drain paid
+  /// (read-back GETs + deep-tier PUTs) for the caller's meter — refusals
+  /// are reported, never silent, so schedulers can assert forward progress
+  /// instead of polling stored_logical_bytes(). No-op in write-through
+  /// mode or with nothing dirty.
   FlushResult flush(double now) override;
+
+  /// Bounded drain (see StorageBackend): only objects dirtied at or before
+  /// `dirty_before`, at most `max_objects` (0 = all), oldest-first with a
+  /// deterministic name tie-break. Objects the deepest tier refuses stay
+  /// dirty *with their original dirty-since stamp* — the durability debt
+  /// is as old as the un-flushed ack, not the failed retry.
+  FlushResult flush_window(double now, double dirty_before,
+                           std::size_t max_objects) override;
+
+  /// The write-back dirty window: count, bytes, oldest dirty-since stamp.
+  [[nodiscard]] DirtyWindow dirty_window() const override;
+
+  /// Crash at `now`: the caching tiers lose every dirty object (copies
+  /// dropped), so reads revert to the deepest tier's last flushed version
+  /// — or miss, for objects that never reached it. Clean cached copies
+  /// survive: this models losing the *dirty window*, the only state whose
+  /// loss violates an acknowledgement. Write-through compositions lose
+  /// nothing.
+  CrashResult crash(double now) override;
 
   [[nodiscard]] std::size_t dirty_count() const;
   /// Dirty objects a bounded fast tier evicted before any flush drained
@@ -91,13 +113,39 @@ class TieredColdStore final : public StorageBackend {
   [[nodiscard]] StorageBackend& tier(std::size_t i) { return *tiers_.at(i); }
 
  private:
+  /// One un-flushed object: its logical size (occupancy must count it even
+  /// though the deep tier has not seen it) and when it went dirty. An
+  /// overwrite of an already-dirty object keeps the *earlier* stamp: the
+  /// durable tier has been stale since the first un-flushed ack.
+  struct Dirty {
+    units::Bytes bytes = 0;
+    double since_s = 0.0;
+  };
+
+  /// Record `name` as dirty at `now` (caller holds mu_). A re-dirtied
+  /// object keeps its original stamp and adopts the new size. Maintains
+  /// the incremental window bookkeeping below.
+  void mark_dirty_locked(const std::string& name, units::Bytes logical,
+                         double now);
+  /// Drop `name`'s dirty entry if present (caller holds mu_), keeping the
+  /// window bookkeeping consistent. Every erase funnels through here.
+  void clear_dirty_locked(const std::string& name);
+  /// Re-enter a refused drain into the dirty map with its *original* stamp
+  /// (caller holds mu_) — insert-if-absent, so a concurrent re-dirty wins.
+  void mark_dirty_refused_locked(const std::string& name,
+                                 units::Bytes logical, double since);
+
   Config config_;
   std::vector<StorageBackend*> tiers_;
   mutable std::mutex mu_;  ///< guards dirty_ and stats_
   /// Objects accepted by a tier above the deepest and not yet made durable
-  /// there (write-back mode), with their logical sizes — occupancy must
-  /// count them even though the deep tier has not seen them.
-  std::unordered_map<std::string, units::Bytes> dirty_;
+  /// there (write-back mode).
+  std::unordered_map<std::string, Dirty> dirty_;
+  /// Incremental dirty-window bookkeeping: flush schedulers query
+  /// dirty_window() on every ingest observation, which must not rescan
+  /// the whole map under mu_ each time.
+  units::Bytes dirty_bytes_ = 0;
+  std::multiset<double> dirty_stamps_;
   std::uint64_t dropped_dirty_ = 0;
   OpStats stats_;
 };

@@ -73,7 +73,11 @@ FLStore::FLStore(FLStoreConfig config, const fed::FLJob& job,
       cold_(owned_cold_ != nullptr ? owned_cold_.get() : cold),
       runtime_(function_runtime_config(job.model()), PricingCatalog::aws()),
       backup_(*cold_, infra_meter_,
-              backend::BackupWriter::Config{config_.backup_batch}) {
+              backend::BackupWriter::Config{config_.backup_batch}),
+      flush_sched_(*cold_, config_.cold_flush) {
+  // Every backup batch the writer drains is an observation point for the
+  // write-back flush scheduler (the ingest cadence).
+  backup_.set_flush_scheduler(&flush_sched_);
   auto pool_cfg = config_.pool;
   if (pool_cfg.function_memory == 0) {
     pool_cfg.function_memory = function_sizing_for(job.model()).memory;
@@ -135,7 +139,13 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
   // unbounded (every default configuration is).
   if (config_.backup_to_cold) {
     (void)backup_.flush(now);
-    const auto drained = cold_->flush(now);
+    // Round boundary: the scheduler decides whether to drain. The default
+    // policy flushes here unconditionally — the legacy cadence, same
+    // contents and fees as the old explicit cold_->flush (the drain now
+    // walks oldest-first rather than name-sorted); scheduled policies
+    // only drain when an age/byte threshold says the dirty window needs
+    // bounding.
+    const auto drained = flush_sched_.observe(now, /*round_boundary=*/true);
     infra_meter_.charge(CostCategory::kStorageService,
                         drained.request_fee_usd);
   }

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "backend/backup_writer.hpp"
+#include "backend/flush_scheduler.hpp"
 #include "backend/object_store_backend.hpp"
 #include "backend/storage_backend.hpp"
 #include "cloud/cost_meter.hpp"
@@ -75,6 +76,16 @@ struct FLStoreConfig {
   /// cold tier (0 = drain only at end of ingest). Contents are identical
   /// for any value (regression-tested); only the write schedule changes.
   std::size_t backup_batch = 64;
+  /// Flush policy for the cold tier's write-back dirty window. The default
+  /// (flush at every round boundary, no thresholds) keeps the legacy
+  /// explicit-flush cadence — same contents, counts, and fees, with the
+  /// drain order now oldest-first; scheduled deployments turn the
+  /// round-boundary drain off and set age/byte thresholds instead — the
+  /// FlushScheduler then drains from the ingest cadence (every BackupWriter
+  /// batch and every round boundary are observation points) and keeps the
+  /// crash-consistency ledger. Irrelevant for synchronously durable
+  /// backends (they are never dirty).
+  backend::FlushPolicy cold_flush;
 };
 
 struct ServeResult {
@@ -147,6 +158,15 @@ class FLStore {
   [[nodiscard]] const backend::BackupWriter& backup_writer() const noexcept {
     return backup_;
   }
+  /// The cold tier's ingest-driven drainer + crash-consistency ledger
+  /// (non-const: tests and fault scenarios inject crash()es through it).
+  [[nodiscard]] backend::FlushScheduler& flush_scheduler() noexcept {
+    return flush_sched_;
+  }
+  [[nodiscard]] const backend::FlushScheduler& flush_scheduler()
+      const noexcept {
+    return flush_sched_;
+  }
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
   [[nodiscard]] std::uint64_t refetches() const noexcept { return refetches_; }
   [[nodiscard]] const FLStoreConfig& config() const noexcept { return config_; }
@@ -187,6 +207,9 @@ class FLStore {
   /// Async batched backup of ingested rounds into `cold_` (declared after
   /// infra_meter_: it charges fees there).
   backend::BackupWriter backup_;
+  /// Ingest-driven write-back drainer over `cold_` (declared after
+  /// backup_, which observes through it after every batch drain).
+  backend::FlushScheduler flush_sched_;
   /// Active P3 client tracks: client -> last request time. Ingest pins new
   /// rounds of tracked clients so across-round workloads keep hitting at
   /// the training frontier.

@@ -66,6 +66,9 @@ JobId ShardedStore::add_tenant(const fed::FLJob& job,
     ns.push_back('/');
     store_config.cold_namespace = std::move(ns);
   }
+  if (config_.cold_flush.has_value()) {
+    store_config.cold_flush = *config_.cold_flush;
+  }
   Tenant tenant;
   tenant.id = id;
   tenant.job = &job;
@@ -421,6 +424,38 @@ ShardedStore::rebalance_tenant_partitions(JobId tenant_id,
     shard.store->set_class_capacity(budgets);
   }
   return budgets;
+}
+
+backend::DirtyWindowStats ShardedStore::dirty_window_stats(double now) const {
+  backend::DirtyWindowStats agg;
+  for (const auto& t : tenants_) {
+    const auto& shard = *shards_[static_cast<std::size_t>(t.shards.front())];
+    const auto s = shard.store->flush_scheduler().dirty_window_stats(now);
+    // Redundant samples of the one shared backend's window: max.
+    agg.dirty_bytes = std::max(agg.dirty_bytes, s.dirty_bytes);
+    agg.peak_dirty_bytes = std::max(agg.peak_dirty_bytes, s.peak_dirty_bytes);
+    agg.acked_unflushed = std::max(agg.acked_unflushed, s.acked_unflushed);
+    agg.oldest_dirty_age_s =
+        std::max(agg.oldest_dirty_age_s, s.oldest_dirty_age_s);
+    agg.peak_oldest_dirty_age_s =
+        std::max(agg.peak_oldest_dirty_age_s, s.peak_oldest_dirty_age_s);
+    agg.bytes_at_risk_integral =
+        std::max(agg.bytes_at_risk_integral, s.bytes_at_risk_integral);
+    // Per-scheduler bookkeeping: sum (each books only what it fired).
+    agg.flushes += s.flushes;
+    agg.age_flushes += s.age_flushes;
+    agg.byte_flushes += s.byte_flushes;
+    agg.round_flushes += s.round_flushes;
+    agg.manual_flushes += s.manual_flushes;
+    agg.drained_objects += s.drained_objects;
+    agg.drained_bytes += s.drained_bytes;
+    agg.refused_drains += s.refused_drains;
+    agg.drain_fees_usd += s.drain_fees_usd;
+    agg.crashes += s.crashes;
+    agg.lost_objects += s.lost_objects;
+    agg.lost_bytes += s.lost_bytes;
+  }
+  return agg;
 }
 
 Coalescer::Stats ShardedStore::coalescer_stats() const {

@@ -23,8 +23,10 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
+#include "backend/flush_scheduler.hpp"
 #include "backend/object_store_backend.hpp"
 #include "backend/storage_backend.hpp"
 #include "cloud/object_store.hpp"
@@ -62,6 +64,14 @@ struct ShardedStoreConfig {
   bool coalesce_cold_fetches = true;
   /// Per-shard scheduler (queued modes only; replay() bypasses queueing).
   SchedulerConfig scheduler;
+  /// Plane-wide write-back flush policy: when set, it overrides every
+  /// tenant's FLStoreConfig::cold_flush, so each primary shard's
+  /// FlushScheduler drains the shared cold tier on that tenant's own
+  /// ingest cadence. Drains go through the durable tier's batched put (one
+  /// Throttle admission per slice) and FlushPolicy::max_drain_objects caps
+  /// the slice, so scheduled flush traffic respects the backend's token
+  /// bucket instead of starving concurrent reads.
+  std::optional<backend::FlushPolicy> cold_flush;
 };
 
 class ShardedStore {
@@ -139,6 +149,13 @@ class ShardedStore {
   std::array<units::Bytes, fed::kPolicyClassCount> rebalance_tenant_partitions(
       JobId tenant, units::Bytes total_per_shard,
       units::Bytes floor_per_shard);
+
+  /// Aggregate crash-consistency ledger across every tenant's primary-shard
+  /// FlushScheduler at simulated time `now`. All schedulers watch the one
+  /// shared cold backend, so "current"/peak window fields take the max
+  /// (they are redundant samples of the same global window) while drain
+  /// and loss counters sum (each scheduler only books drains it fired).
+  [[nodiscard]] backend::DirtyWindowStats dirty_window_stats(double now) const;
 
   /// Aggregate single-flight statistics across every tenant's coalescer.
   [[nodiscard]] Coalescer::Stats coalescer_stats() const;

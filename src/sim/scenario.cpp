@@ -24,6 +24,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
   core::FLStoreConfig fl_cfg;
   fl_cfg.pool.replicas = config_.replicas;
   fl_cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
+  fl_cfg.cold_flush = config_.cold_flush;
   flstore_ = std::make_unique<core::FLStore>(fl_cfg, *job_, *backend_);
 
   baselines::BaselineConfig base_cfg;
@@ -54,6 +55,7 @@ std::unique_ptr<core::FLStore> Scenario::make_flstore_variant(
   cfg.cache_capacity = cache_capacity;
   cfg.pool.replicas = replicas;
   cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
+  cfg.cold_flush = config_.cold_flush;
   return std::make_unique<core::FLStore>(cfg, *job_, *backend_);
 }
 
@@ -118,6 +120,7 @@ std::unique_ptr<core::FLStore> Scenario::make_flstore_over(
   cfg.policy.mode = mode;
   cfg.cache_capacity = cache_capacity;
   cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
+  cfg.cold_flush = config_.cold_flush;
   return std::make_unique<core::FLStore>(cfg, *job_, cold);
 }
 

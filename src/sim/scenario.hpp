@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/flush_scheduler.hpp"
 #include "backend/storage_backend.hpp"
 #include "baselines/aggregator_baseline.hpp"
 #include "cloud/object_store.hpp"
@@ -52,6 +53,11 @@ struct ScenarioConfig {
   /// Replicate that cold tier across regions (backend::ReplicatedColdStore
   /// composing per-region backends of `cold_backend` kind).
   ColdReplicationSpec cold_replication;
+  /// Write-back flush policy for the cold tier, applied to every FLStore
+  /// the scenario builds (the main instance, variants, and backend-sweep
+  /// instances). The default keeps the legacy flush-at-every-round cadence;
+  /// a no-op unless the cold backend is a write-back composition.
+  backend::FlushPolicy cold_flush;
 };
 
 class Scenario {

@@ -1,0 +1,132 @@
+// Throttle token-bucket edge cases: the zero-rate (disabled) bucket, queue
+// growth past the burst depth, fractional refill accumulation across long
+// idle gaps, the never-backwards clock, and the batched-put accounting
+// contract (one admission per batch; refused items still pay their share
+// of the stream — PR 4's refused-bytes contract).
+#include "backend/storage_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "backend/cloud_cache_backend.hpp"
+#include "backend/local_ssd_backend.hpp"
+#include "sim/calibration.hpp"
+
+namespace flstore::backend {
+namespace {
+
+using units::MB;
+
+TEST(ThrottleEdge, ZeroRateBucketNeverWaits) {
+  Throttle throttle(Throttle::Config{/*ops_per_s=*/0.0, /*burst_ops=*/0.0});
+  EXPECT_FALSE(throttle.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  }
+}
+
+TEST(ThrottleEdge, BeyondBurstTheQueueGrowsLinearly) {
+  // Burst 3 at 2 ops/s: three back-to-back admits are free, then each
+  // further same-instant op queues one token-interval deeper — sustained
+  // overload degrades as a queue, never as an error.
+  Throttle throttle(Throttle::Config{2.0, 3.0});
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 1.5);
+}
+
+TEST(ThrottleEdge, FractionalRefillAccumulatesAndCapsAtBurst) {
+  // 0.25 ops/s, depth 2: fractions of a token must accumulate across
+  // gaps, and a long idle stretch refills to the burst depth, never past.
+  Throttle throttle(Throttle::Config{0.25, 2.0});
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  // t=2: 0.5 tokens accrued; the op owes the other half a token = 2 s.
+  EXPECT_DOUBLE_EQ(throttle.admit(2.0), 2.0);
+  // Long idle gap: the bucket caps at 2 tokens (not 0.25 * 998).
+  EXPECT_DOUBLE_EQ(throttle.admit(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(1000.0), 4.0);
+}
+
+TEST(ThrottleEdge, ClockNeverRunsBackwardsInsideTheBucket) {
+  // An out-of-order timestamp (parallel tenant timelines) must not refill
+  // from a rewound clock; tokens only accrue on forward progress.
+  Throttle throttle(Throttle::Config{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(throttle.admit(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(3.0), 1.0);  // no refill from the past
+  EXPECT_DOUBLE_EQ(throttle.admit(5.0), 2.0);  // still at last_s_ = 5
+  // Forward progress refills again (the accrual clears the 2-token debt
+  // and caps at the burst depth of 1).
+  EXPECT_DOUBLE_EQ(throttle.admit(9.0), 0.0);
+}
+
+TEST(ThrottleEdge, BatchedPutChargesOneAdmissionAndAllAttemptedBytes) {
+  // A fixed single-device SSD behind a 1 op/s throttle: a batch is ONE
+  // admission regardless of item count, and a refused item (it can never
+  // fit the device) still pays its share of the stream — the transfer
+  // covers every *attempted* byte.
+  LocalSsdBackend::Config cfg;
+  cfg.auto_scale = false;
+  cfg.devices = 1;
+  cfg.link = sim::local_ssd_link();
+  cfg.throttle = Throttle::Config{1.0, 1.0};
+  LocalSsdBackend ssd(cfg, PricingCatalog::aws());
+  const auto huge = 2 * PricingCatalog::aws().ssd_device_capacity;
+
+  std::vector<PutRequest> batch;
+  batch.push_back(PutRequest{"a", Blob{1}, 1 * MB});
+  batch.push_back(PutRequest{"big", Blob{2}, huge});
+  batch.push_back(PutRequest{"b", Blob{3}, 1 * MB});
+  const auto res = ssd.put_batch(std::move(batch), 0.0);
+  EXPECT_EQ(res.stored, 2U);
+  ASSERT_EQ(res.accepted.size(), 3U);
+  EXPECT_FALSE(res.accepted[1]);
+  // One token for the whole batch, and the stream covers 2 MB + the
+  // refused device-busting object.
+  EXPECT_EQ(ssd.stats().throttled_ops, 0U);
+  EXPECT_DOUBLE_EQ(res.latency_s,
+                   cfg.link.transfer_time(2 * MB + huge));
+
+  // The next batch queues behind the single consumed token: exactly one
+  // throttled admission, with the wait in the ledger — not one per item.
+  std::vector<PutRequest> second;
+  second.push_back(PutRequest{"c", Blob{4}, 1 * MB});
+  second.push_back(PutRequest{"d", Blob{5}, 1 * MB});
+  const auto res2 = ssd.put_batch(std::move(second), 0.0);
+  EXPECT_EQ(res2.stored, 2U);
+  EXPECT_EQ(ssd.stats().throttled_ops, 1U);
+  EXPECT_DOUBLE_EQ(ssd.stats().throttle_wait_s, 1.0);
+  EXPECT_DOUBLE_EQ(res2.latency_s,
+                   1.0 + cfg.link.transfer_time(2 * MB));
+}
+
+TEST(ThrottleEdge, CloudCacheBatchHonoursTheSameContract) {
+  CloudCacheBackend::Config cfg;
+  cfg.auto_scale = false;
+  cfg.nodes = 1;
+  cfg.link = sim::cloudcache_link();
+  cfg.throttle = Throttle::Config{1.0, 1.0};
+  CloudCacheBackend cache(cfg, PricingCatalog::aws());
+  const auto huge = 2 * PricingCatalog::aws().cache_node_capacity;
+
+  std::vector<PutRequest> batch;
+  batch.push_back(PutRequest{"a", Blob{1}, 1 * MB});
+  batch.push_back(PutRequest{"big", Blob{2}, huge});
+  const auto res = cache.put_batch(std::move(batch), 0.0);
+  EXPECT_EQ(res.stored, 1U);
+  EXPECT_EQ(cache.stats().throttled_ops, 0U);
+  EXPECT_EQ(cache.stats().rejected_puts, 1U);
+  EXPECT_DOUBLE_EQ(res.latency_s, cfg.link.transfer_time(1 * MB + huge));
+
+  std::vector<PutRequest> second;
+  second.push_back(PutRequest{"c", Blob{3}, 1 * MB});
+  const auto res2 = cache.put_batch(std::move(second), 0.0);
+  EXPECT_EQ(cache.stats().throttled_ops, 1U);
+  EXPECT_DOUBLE_EQ(res2.latency_s, 1.0 + cfg.link.transfer_time(1 * MB));
+}
+
+}  // namespace
+}  // namespace flstore::backend

@@ -1,0 +1,24 @@
+// Seed-count control for the property-test harnesses.
+//
+// ctest stays deterministic: with PROPERTY_TEST_SEEDS unset (the CI
+// default), every property suite instantiates a fixed seed range and
+// gtest_discover_tests registers exactly those names. Setting
+// PROPERTY_TEST_SEEDS=N and running the test binary directly widens the
+// sweep locally:
+//
+//   PROPERTY_TEST_SEEDS=200 ./build/tests/flstore_tests ...
+//       (with --gtest_filter='*Fuzz*' to run just the property suites)
+#pragma once
+
+#include <cstdlib>
+
+namespace flstore::testing {
+
+inline int property_test_seeds(int fixed_default = 10) {
+  const char* env = std::getenv("PROPERTY_TEST_SEEDS");
+  if (env == nullptr) return fixed_default;
+  const int n = std::atoi(env);
+  return n > 0 ? n : fixed_default;
+}
+
+}  // namespace flstore::testing
