@@ -3,10 +3,13 @@
 // simulation, and closes with paper-vs-measured headlines.
 //
 // Common CLI (parse_args):
-//   --scale X     shrink rounds/request counts proportionally (CI smoke
-//                 runs; per-request quantities are unchanged)
-//   --json[=path] also write the headline metrics as BENCH_<name>.json —
-//                 the perf-trajectory artifact CI uploads per commit
+//   --scale X      shrink rounds/request counts proportionally (CI smoke
+//                  runs; per-request quantities are unchanged)
+//   --json[=path]  also write the headline metrics as BENCH_<name>.json —
+//                  the perf-trajectory artifact CI uploads per commit
+//   --trace[=path] export the run's sampled spans as Chrome trace-event
+//                  JSON (TRACE_<name>.json by default) — load in Perfetto
+//                  or chrome://tracing; timestamps are simulated time
 #pragma once
 
 #include <algorithm>
@@ -24,6 +27,8 @@
 #include "backend/replicated_cold_store.hpp"
 #include "common/table.hpp"
 #include "fed/request.hpp"
+#include "obs/instrumented_backend.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/calibration.hpp"
 #include "sim/report.hpp"
 #include "sim/runner.hpp"
@@ -43,6 +48,8 @@ struct Args {
   double scale = 1.0;
   bool json = false;
   std::string json_path;  ///< empty = BENCH_<name>.json
+  bool trace = false;
+  std::string trace_path;  ///< empty = TRACE_<name>.json
 };
 
 inline Args parse_args(int argc, char** argv) {
@@ -73,6 +80,11 @@ inline Args parse_args(int argc, char** argv) {
       args.json_path = arg.substr(7);
     } else if (arg == "--json") {
       args.json = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      args.trace = true;
+      args.trace_path = arg.substr(8);
+    } else if (arg == "--trace") {
+      args.trace = true;
     } else {
       // Fatal for the same reason as a bad --scale value: a typoed flag
       // must not silently run the full-size bench.
@@ -91,6 +103,13 @@ class JsonReport {
 
   void add(const std::string& name, double value, std::string unit = "") {
     metrics_.push_back(Metric{name, value, std::move(unit)});
+  }
+
+  /// Embed the registry's full snapshot as a "telemetry" object in the
+  /// artifact (every counter/gauge value plus histogram summaries), so one
+  /// BENCH_*.json carries both the headline metrics and the raw series.
+  void attach_telemetry(const obs::MetricsRegistry& metrics) {
+    telemetry_json_ = metrics.snapshot_json();
   }
 
   /// The standard paper-vs-measured footer line, also recorded as a metric.
@@ -120,7 +139,11 @@ class JsonReport {
       out << ", \"unit\": \"" << escaped(m.unit) << "\"}";
       out << (i + 1 < metrics_.size() ? ",\n" : "\n");
     }
-    out << "  ]\n}\n";
+    out << "  ]";
+    if (!telemetry_json_.empty()) {
+      out << ",\n  \"telemetry\": " << telemetry_json_;
+    }
+    out << "\n}\n";
     std::printf("\nwrote %s (%zu metrics)\n", path.c_str(), metrics_.size());
     return path;
   }
@@ -144,7 +167,45 @@ class JsonReport {
 
   std::string bench_;
   std::vector<Metric> metrics_;
+  std::string telemetry_json_;
 };
+
+/// Export the tracer's sampled spans when --trace was given; returns the
+/// path ("" if disabled). The file is Chrome trace-event JSON — open it in
+/// Perfetto (ui.perfetto.dev) or chrome://tracing.
+inline std::string write_trace(const Args& args, const obs::Tracer& tracer,
+                               const std::string& bench) {
+  if (!args.trace) return "";
+  const std::string path =
+      args.trace_path.empty() ? "TRACE_" + bench + ".json" : args.trace_path;
+  if (!tracer.write_chrome_trace(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return "";
+  }
+  std::printf("wrote %s (%zu spans, %llu dropped)\n", path.c_str(),
+              tracer.span_count(),
+              static_cast<unsigned long long>(tracer.dropped()));
+  return path;
+}
+
+/// The observability overhead guard: with telemetry being pure bookkeeping
+/// in simulated time, the instrumented run's sim-time throughput must sit
+/// within `tolerance` of the plain run's (the ISSUE's < 5% budget). Prints
+/// and records the verdict; returns it so benches can also assert.
+inline bool check_observability_overhead(JsonReport& report, double off_qps,
+                                         double on_qps,
+                                         double tolerance = 0.05) {
+  const double base = std::max(std::fabs(off_qps), 1e-12);
+  const double delta = std::fabs(on_qps - off_qps) / base;
+  const bool ok = delta < tolerance;
+  std::printf(
+      "observability overhead: %.3f%% throughput delta "
+      "(%.1f qps off vs %.1f qps on) — within %.0f%%: %s\n",
+      100.0 * delta, off_qps, on_qps, 100.0 * tolerance, ok ? "yes" : "NO");
+  report.add("obs/throughput_delta_fraction", delta);
+  report.add("verdict/observability_overhead_lt_5pct", ok ? 1.0 : 0.0);
+  return ok;
+}
 
 /// The §5.1 evaluation scenario for one model. `scale` < 1 shrinks rounds
 /// and request counts proportionally (all benches default to full scale; a
@@ -296,7 +357,23 @@ inline std::vector<backend::OutageWindow> geo_outages(
 }
 
 inline std::unique_ptr<backend::ReplicatedColdStore> make_geo_cold_store(
-    int serving_regions) {
+    int serving_regions, obs::Telemetry* telemetry = nullptr) {
+  // With telemetry, each region's backend is wrapped individually (region
+  // label = region name), so backend_ops_total / latency histograms split
+  // per region — failovers show up as reads booked against "ssd-1" while
+  // "ssd-0" sits in an outage window.
+  const auto instrumented =
+      [telemetry](std::unique_ptr<backend::StorageBackend> raw,
+                  const std::string& region_name) {
+        if (telemetry == nullptr) return raw;
+        obs::InstrumentedBackend::Options opts;
+        opts.metrics = &telemetry->metrics;
+        opts.tracer = &telemetry->tracer;
+        opts.region = region_name;
+        return std::unique_ptr<backend::StorageBackend>(
+            std::make_unique<obs::InstrumentedBackend>(std::move(raw),
+                                                       std::move(opts)));
+      };
   std::vector<backend::ReplicatedColdStore::Region> regions;
   regions.reserve(static_cast<std::size_t>(serving_regions) + 1);
   for (int i = 0; i < serving_regions; ++i) {
@@ -304,15 +381,17 @@ inline std::unique_ptr<backend::ReplicatedColdStore> make_geo_cold_store(
     region.name = "ssd-" + std::to_string(i);
     backend::LocalSsdBackend::Config ssd_cfg;
     ssd_cfg.link = sim::local_ssd_link();
-    region.owned = std::make_unique<backend::LocalSsdBackend>(
-        ssd_cfg, PricingCatalog::aws());
+    region.owned = instrumented(std::make_unique<backend::LocalSsdBackend>(
+                                    ssd_cfg, PricingCatalog::aws()),
+                                region.name);
     region.wan = sim::interregion_link(i);
     regions.push_back(std::move(region));
   }
   backend::ReplicatedColdStore::Region origin;
   origin.name = "origin";
-  origin.owned = std::make_unique<backend::ObjectStoreBackend>(
-      sim::objstore_link(), PricingCatalog::aws());
+  origin.owned = instrumented(std::make_unique<backend::ObjectStoreBackend>(
+                                  sim::objstore_link(), PricingCatalog::aws()),
+                              origin.name);
   origin.wan = sim::interregion_link(std::max(3, serving_regions));
   origin.far = true;
   regions.push_back(std::move(origin));

@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace flstore {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_write_mu;  // one fprintf per line, never interleaved
 const char* name(LogLevel lv) {
   switch (lv) {
     case LogLevel::kDebug: return "DEBUG";
@@ -18,11 +21,16 @@ const char* name(LogLevel lv) {
 }
 }  // namespace
 
-LogLevel Logger::level() noexcept { return g_level; }
-void Logger::set_level(LogLevel lv) noexcept { g_level = lv; }
+LogLevel Logger::level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+void Logger::set_level(LogLevel lv) noexcept {
+  g_level.store(lv, std::memory_order_relaxed);
+}
 
 void Logger::write(LogLevel lv, const std::string& msg) {
-  if (static_cast<int>(lv) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(lv) < static_cast<int>(level())) return;
+  const std::scoped_lock lock(g_write_mu);
   std::fprintf(stderr, "[%s] %s\n", name(lv), msg.c_str());
 }
 

@@ -210,6 +210,25 @@ void FLStore::ingest_round(const fed::RoundRecord& record, double now) {
   }
 }
 
+void FLStore::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    hit_counters_ = {};
+    miss_counters_ = {};
+    return;
+  }
+  constexpr fed::PolicyClass kClasses[] = {
+      fed::PolicyClass::kP1, fed::PolicyClass::kP2, fed::PolicyClass::kP3,
+      fed::PolicyClass::kP4};
+  for (const auto cls : kClasses) {
+    const obs::Labels labels{{obs::kLabelClass, fed::to_string(cls)}};
+    hit_counters_[fed::class_index(cls)] =
+        &telemetry_->metrics.counter("cache_hits_total", labels);
+    miss_counters_[fed::class_index(cls)] =
+        &telemetry_->metrics.counter("cache_misses_total", labels);
+  }
+}
+
 FLStore::FetchOutcome FLStore::fetch_cold(const MetadataKey& key,
                                           CostMeter& meter, double now) {
   const auto name = cold_name(key);
@@ -234,6 +253,16 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
   ServeResult res;
   res.comm_s = config_.routing_overhead_s;
   CostMeter request_fees;
+
+  // Request span: child of the serving plane's root when one is in scope,
+  // its own root for direct serve() callers. Everything below nests here.
+  obs::Tracer* const tracer = obs::tracer_of(telemetry_);
+  const auto serve_span =
+      obs::begin_span(tracer, "flstore.serve", "core", now);
+  std::optional<obs::Tracer::Scope> serve_scope;
+  if (tracer != nullptr) serve_scope.emplace(tracer, serve_span);
+  obs::annotate_span(tracer, serve_span, "workload",
+                     fed::to_string(req.type));
 
   const auto& workload = workloads::workload_for(req.type);
   const auto needs = workload.data_needs(req, *job_);
@@ -262,15 +291,37 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
   // accounting behind Table 2's 19999/1 and 63/1 hit/miss splits.
   std::unordered_map<FunctionId, units::Bytes> bytes_per_function;
   bool bulk_fetched = false;
+  // One traced miss fetch: cold.fetch span at `at`, interceptor/backend
+  // spans nested under it.
+  const auto traced_fetch = [&](const MetadataKey& key, CostMeter& meter,
+                                double at) {
+    const auto span = obs::begin_span(tracer, "cold.fetch", "core", at);
+    FetchOutcome fetched;
+    {
+      std::optional<obs::Tracer::Scope> scope;
+      if (tracer != nullptr) scope.emplace(tracer, span);
+      fetched = fetch_cold(key, meter, at);
+    }
+    if (span != obs::kNoSpan) {
+      tracer->end(span, at + fetched.latency_s);
+      tracer->annotate(span, "object", key.object_name());
+    }
+    return fetched;
+  };
+
   for (const auto& key : needs) {
     auto hit = engine_->lookup(key, now, policy_class);
     res.comm_s += hit.failover_delay_s;
+    if (hit.failover_delay_s > 0.0) {
+      obs::instant_span(tracer, "replica.failover", "core", now);
+    }
     if (hit.failover_delay_s > 0.0 && hit.group != kNoGroup &&
         config_.auto_repair) {
       if (pool_->repair(hit.group)) ++repairs_;
     }
     if (hit.hit) {
       ++res.hits;
+      obs::instant_span(tracer, "cache.hit", "core", now);
       if (hit.available_at > now) res.comm_s += hit.available_at - now;
       workloads::absorb_blob(input, key, *hit.blob);
       bytes_per_function[hit.function] +=
@@ -280,7 +331,8 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
     }
     ++res.misses;
     ++refetches_;
-    auto fetched = fetch_cold(key, request_fees, now + res.comm_s);
+    obs::instant_span(tracer, "cache.miss", "core", now);
+    auto fetched = traced_fetch(key, request_fees, now + res.comm_s);
     res.comm_s += fetched.latency_s;
     workloads::absorb_blob(input, key, *fetched.blob);
     engine_->cache_object(key, fetched.blob, fetched.logical_bytes, now, now,
@@ -290,7 +342,7 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
       for (const auto& sibling : needs) {
         if (sibling == key || engine_->contains(sibling)) continue;
         if (!cold_->contains(cold_name(sibling))) continue;
-        auto s = fetch_cold(sibling, request_fees, now + res.comm_s);
+        auto s = traced_fetch(sibling, request_fees, now + res.comm_s);
         res.comm_s += s.latency_s;
         engine_->cache_object(sibling, s.blob, s.logical_bytes, now, now, pin,
                               /*opportunistic=*/false, policy_class);
@@ -334,6 +386,10 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
   const auto invocation = runtime_.invoke(primary, res.output.work);
   res.comp_s = invocation.duration_s;
   res.executed_on = primary;
+  if (tracer != nullptr) {
+    const auto exec = tracer->begin("workload.exec", "core", now + res.comm_s);
+    obs::end_span(tracer, exec, now + res.comm_s + res.comp_s);
+  }
   tracker_.add_function(req.id, primary);
   request_fees.charge(CostCategory::kComputation, invocation.cost_usd);
   // The function also bills while blocked on cold-store fetches and
@@ -348,11 +404,22 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
         blocked_s * gb * PricingCatalog::aws().lambda_usd_per_gb_second);
   }
 
-  // Store the (small) result back asynchronously.
-  const auto put =
-      cold_->put(config_.cold_namespace + "results/" + std::to_string(req.id),
-                 Blob(1), res.output.result_bytes, now + res.comm_s);
-  request_fees.charge(CostCategory::kStorageService, put.request_fee_usd);
+  // Store the (small) result back asynchronously. Detached span: the write
+  // can outlive the request's own interval, so it must not pretend to nest.
+  {
+    const auto wb = obs::begin_detached_span(tracer, "result.writeback",
+                                             "core", now + res.comm_s);
+    backend::PutResult put;
+    {
+      std::optional<obs::Tracer::Scope> scope;
+      if (tracer != nullptr) scope.emplace(tracer, wb);
+      put = cold_->put(
+          config_.cold_namespace + "results/" + std::to_string(req.id),
+          Blob(1), res.output.result_bytes, now + res.comm_s);
+    }
+    obs::end_span(tracer, wb, now + res.comm_s + put.latency_s);
+    request_fees.charge(CostCategory::kStorageService, put.request_fee_usd);
+  }
 
   // Post-serve: policy prefetch + evictions (asynchronous).
   if (policy_class.has_value()) {
@@ -362,8 +429,20 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
       if (!cold_->contains(cold_name(key))) continue;
       // Prefetches issue after the request's own transfers; timestamping
       // them at now + comm keeps interceptor (coalescing) windows monotone
-      // with the miss path above.
-      auto fetched = fetch_cold(key, infra_meter_, now + res.comm_s);
+      // with the miss path above. Detached span: a prefetch's transfer can
+      // end after the request completes.
+      const auto pf = obs::begin_detached_span(tracer, "prefetch.fetch",
+                                               "core", now + res.comm_s);
+      FetchOutcome fetched;
+      {
+        std::optional<obs::Tracer::Scope> scope;
+        if (tracer != nullptr) scope.emplace(tracer, pf);
+        fetched = fetch_cold(key, infra_meter_, now + res.comm_s);
+      }
+      if (pf != obs::kNoSpan) {
+        tracer->end(pf, now + res.comm_s + fetched.latency_s);
+        tracer->annotate(pf, "object", key.object_name());
+      }
       engine_->cache_object(key, fetched.blob, fetched.logical_bytes, now,
                             now + fetched.latency_s, pin,
                             /*opportunistic=*/true, policy_class);
@@ -382,6 +461,14 @@ ServeResult FLStore::serve(const fed::NonTrainingRequest& req, double now) {
 
   res.latency_s = res.comm_s + res.comp_s;
   res.cost_usd = request_fees.total();
+  if (telemetry_ != nullptr) {
+    const auto c = fed::class_index(fed::policy_class_for(req.type));
+    if (res.hits > 0) hit_counters_[c]->add(static_cast<double>(res.hits));
+    if (res.misses > 0) {
+      miss_counters_[c]->add(static_cast<double>(res.misses));
+    }
+    obs::end_span(tracer, serve_span, now + res.latency_s);
+  }
   return res;
 }
 

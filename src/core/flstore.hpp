@@ -36,6 +36,7 @@
 #include "core/request_tracker.hpp"
 #include "core/serverless_cache.hpp"
 #include "fed/fl_job.hpp"
+#include "obs/telemetry.hpp"
 #include "workloads/workload.hpp"
 
 namespace flstore::core {
@@ -139,6 +140,15 @@ class FLStore {
     cold_interceptor_ = interceptor;
   }
 
+  /// Attach the unified telemetry plane (non-owning; nullptr turns
+  /// observability off). serve() then emits its span chain — flstore.serve,
+  /// cache.hit/cache.miss/replica.failover instants, cold.fetch, and
+  /// workload.exec, plus detached result.writeback / prefetch.fetch spans
+  /// for work that outlives the request — and books per-class cache
+  /// hit/miss counters. Counter handles are resolved here, once, so the
+  /// serve hot path pays only pointer tests and atomic adds.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   [[nodiscard]] const CacheEngine& engine() const noexcept { return *engine_; }
   [[nodiscard]] const RequestTracker& tracker() const noexcept {
     return tracker_;
@@ -194,6 +204,11 @@ class FLStore {
 
   FLStoreConfig config_;
   const fed::FLJob* job_;
+  obs::Telemetry* telemetry_ = nullptr;
+  /// Per-class cache hit/miss counter handles (fed::class_index order),
+  /// resolved by set_telemetry. Null when telemetry is off.
+  std::array<obs::Counter*, fed::kPolicyClassCount> hit_counters_{};
+  std::array<obs::Counter*, fed::kPolicyClassCount> miss_counters_{};
   /// Set only by the ObjectStore& convenience constructor, which owns the
   /// adapter it wraps the raw store in.
   std::unique_ptr<backend::ObjectStoreBackend> owned_cold_;

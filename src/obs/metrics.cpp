@@ -1,0 +1,304 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace flstore::obs {
+
+double HistogramConfig::growth() const noexcept {
+  return std::pow(10.0, 1.0 / static_cast<double>(buckets_per_decade));
+}
+
+LogHistogram::LogHistogram(HistogramConfig config) : config_(config) {
+  FLSTORE_CHECK(config_.min > 0.0);
+  FLSTORE_CHECK(config_.decades > 0);
+  FLSTORE_CHECK(config_.buckets_per_decade > 0);
+  log_min_ = std::log10(config_.min);
+  buckets_.assign(static_cast<std::size_t>(config_.bucket_count()), 0);
+}
+
+int LogHistogram::bucket_for(double value) const noexcept {
+  if (!(value >= config_.min)) return 0;  // underflow (<= 0 and NaN too)
+  const int last = config_.bucket_count() - 1;
+  if (value >= bucket_lower_bound(last)) return last;  // overflow (+inf too)
+  const double pos = (std::log10(value) - log_min_) *
+                     static_cast<double>(config_.buckets_per_decade);
+  // floor + 1 for the underflow slot; floating log10 can land an exact
+  // boundary epsilon-off, so nudge one step when the recomputed bounds
+  // prove the value belongs next door.
+  auto idx = static_cast<int>(
+      std::clamp(std::floor(pos) + 1.0, 1.0, static_cast<double>(last - 1)));
+  if (idx + 1 <= last - 1 && value >= bucket_lower_bound(idx + 1)) {
+    ++idx;
+  } else if (idx > 1 && value < bucket_lower_bound(idx)) {
+    --idx;
+  }
+  return idx;
+}
+
+double LogHistogram::bucket_lower_bound(int i) const noexcept {
+  if (i <= 0) return 0.0;
+  const int last = config_.bucket_count() - 1;
+  const int exp_steps = std::min(i, last) - 1;
+  return config_.min *
+         std::pow(10.0, static_cast<double>(exp_steps) /
+                            static_cast<double>(config_.buckets_per_decade));
+}
+
+void LogHistogram::observe(double value) {
+  ++buckets_[static_cast<std::size_t>(bucket_for(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  FLSTORE_CHECK(config_ == other.config_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::percentile(double p) const {
+  FLSTORE_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  // The extremes are tracked exactly outside the buckets — report them
+  // exactly instead of a bucket-resolution estimate.
+  if (p == 0.0) return min_;
+  if (p == 100.0) return max_;
+  // Nearest-rank (1-based): the k-th smallest sample with k = ceil(p% * n),
+  // at least 1 so p=0 means the minimum.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const auto in_bucket = buckets_[i];
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // The rank statistic lives in bucket i. Interpolate log-linearly by
+    // rank position inside the bucket, then clamp to the exact extremes
+    // (tightens the first and last buckets to the data actually seen).
+    const double frac = (static_cast<double>(rank - seen) - 0.5) /
+                        static_cast<double>(in_bucket);
+    double estimate;
+    if (i == 0) {
+      estimate = config_.min;  // underflow: everything below the floor
+    } else {
+      const double lo = bucket_lower_bound(static_cast<int>(i));
+      const double g = config_.growth();
+      estimate = lo * std::pow(g, std::clamp(frac, 0.0, 1.0));
+    }
+    return std::clamp(estimate, min_, max_);
+  }
+  return max_;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// JSON number rendering: finite doubles; NaN/inf have no JSON spelling and
+/// serialize as null (same convention as bench JsonReport).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream out;
+  out.precision(15);
+  out << v;
+  return out.str();
+}
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out += '"';
+    out += json_escape(labels[i].first);
+    out += "\": \"";
+    out += json_escape(labels[i].second);
+    out += '"';
+    if (i + 1 < labels.size()) out += ", ";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::series_key(const std::string& name,
+                                        const Labels& labels) {
+  // Canonical independent of caller label order: sort by key (resolve()
+  // passes labels pre-sorted; a user-supplied order sorts here). No braces
+  // on an unlabeled series.
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = name;
+  if (sorted.empty()) return key;
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+    if (i + 1 < sorted.size()) key += ',';
+  }
+  key += '}';
+  return key;
+}
+
+MetricsRegistry::Series& MetricsRegistry::resolve(
+    const std::string& name, Labels labels, Type type,
+    const HistogramConfig* hist_config) {
+  FLSTORE_CHECK(!name.empty());
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    if (labels[i].first == labels[i - 1].first) {
+      throw InvalidArgument("duplicate label key '" + labels[i].first +
+                            "' on metric " + name);
+    }
+  }
+  const auto key = series_key(name, labels);
+
+  const std::scoped_lock lock(mu_);
+  const auto [type_it, type_inserted] = name_types_.emplace(name, type);
+  if (!type_inserted && type_it->second != type) {
+    throw InvalidArgument("metric '" + name +
+                          "' already registered with a different type");
+  }
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    auto series = std::make_unique<Series>();
+    series->name = name;
+    series->labels = std::move(labels);
+    series->type = type;
+    switch (type) {
+      case Type::kCounter: series->counter = std::make_unique<Counter>(); break;
+      case Type::kGauge: series->gauge = std::make_unique<Gauge>(); break;
+      case Type::kHistogram:
+        series->histogram = std::make_unique<Histogram>(
+            hist_config != nullptr ? *hist_config : HistogramConfig{});
+        break;
+    }
+    it = series_.emplace(key, std::move(series)).first;
+    ++name_cardinality_[name];
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  return *resolve(name, std::move(labels), Type::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  return *resolve(name, std::move(labels), Type::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      HistogramConfig config) {
+  return *resolve(name, std::move(labels), Type::kHistogram, &config)
+              .histogram;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  const std::scoped_lock lock(mu_);
+  return series_.size();
+}
+
+std::size_t MetricsRegistry::cardinality(const std::string& name) const {
+  const std::scoped_lock lock(mu_);
+  const auto it = name_cardinality_.find(name);
+  return it == name_cardinality_.end() ? 0 : it->second;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const std::scoped_lock lock(mu_);
+  std::string out = "{\n  \"series\": [\n";
+  std::size_t i = 0;
+  for (const auto& [key, series] : series_) {
+    out += "    {\"name\": \"" + json_escape(series->name) +
+           "\", \"labels\": " + labels_json(series->labels);
+    switch (series->type) {
+      case Type::kCounter:
+        out += ", \"type\": \"counter\", \"value\": " +
+               json_number(series->counter->value());
+        break;
+      case Type::kGauge:
+        out += ", \"type\": \"gauge\", \"value\": " +
+               json_number(series->gauge->value());
+        break;
+      case Type::kHistogram: {
+        const auto h = series->histogram->snapshot();
+        out += ", \"type\": \"histogram\", \"count\": " +
+               std::to_string(h.count()) +
+               ", \"sum\": " + json_number(h.sum()) +
+               ", \"min\": " + json_number(h.min()) +
+               ", \"max\": " + json_number(h.max()) +
+               ", \"p50\": " + json_number(h.percentile(50.0)) +
+               ", \"p90\": " + json_number(h.percentile(90.0)) +
+               ", \"p99\": " + json_number(h.percentile(99.0)) +
+               ", \"p999\": " + json_number(h.percentile(99.9)) +
+               ", \"buckets\": [";
+        bool first = true;
+        for (int b = 0; b < h.config().bucket_count(); ++b) {
+          const auto n = h.bucket_count_at(b);
+          if (n == 0) continue;
+          if (!first) out += ", ";
+          first = false;
+          out += '[';
+          out += json_number(h.bucket_lower_bound(b));
+          out += ", ";
+          out += std::to_string(n);
+          out += ']';
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+    out += (++i < series_.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}";
+  return out;
+}
+
+}  // namespace flstore::obs

@@ -1,0 +1,244 @@
+// MetricsRegistry — the unified telemetry plane's naming + aggregation layer.
+//
+// Every subsystem keeps a private ledger (backend OpStats, Coalescer::Stats,
+// FlushScheduler's DirtyWindowStats, ServiceReport); the registry is the one
+// plane that *names* those signals, labels them along the deployment's
+// dimensions, and exports them as a machine-readable snapshot. Three series
+// types:
+//
+//   Counter   — monotone total (requests served, bytes read, fees booked)
+//   Gauge     — last-write-wins level (dirty bytes at risk, burn rate)
+//   Histogram — fixed-bucket log-scale distribution (latencies): O(1)
+//               insert, percentile estimates without retaining samples —
+//               the million-op complement to SampleSet, which keeps every
+//               point. The estimate error is bounded by one bucket's width
+//               (factor 10^(1/buckets_per_decade)).
+//
+// Label dimensions are free-form key/value pairs; the conventional keys used
+// across the codebase are the kLabel* constants below (tenant, class, shard,
+// backend, region, op, window). Series handles returned by the registry are
+// stable for the registry's lifetime and internally synchronized, so hot
+// paths resolve a handle once and update it lock-free (counters/gauges) or
+// under a per-series mutex (histograms).
+//
+// Naming scheme (README "Observability"): <subsystem>_<what>[_<unit>], e.g.
+// serve_request_latency_s, cache_hits_total, backend_op_latency_s,
+// slo_burn_rate. Totals end in _total; seconds in _s; bytes in _bytes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flstore::obs {
+
+// Conventional label keys (free-form keys are allowed; these are the ones
+// the built-in instrumentation emits).
+inline constexpr const char* kLabelTenant = "tenant";
+inline constexpr const char* kLabelClass = "class";    ///< P1..P4
+inline constexpr const char* kLabelShard = "shard";
+inline constexpr const char* kLabelBackend = "backend";  ///< BackendKind
+inline constexpr const char* kLabelRegion = "region";
+inline constexpr const char* kLabelOp = "op";          ///< get/put/...
+inline constexpr const char* kLabelWindow = "window";  ///< SLO window (s)
+
+/// One series' label set. Canonicalized (sorted by key) on registration;
+/// duplicate keys are an error.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Log-scale histogram geometry. Bucket i (1-based; 0 is the underflow
+/// bucket for values < min, including zeros) covers
+/// [min * g^(i-1), min * g^i) with g = 10^(1/buckets_per_decade); one
+/// overflow bucket catches values >= min * 10^decades. The defaults span
+/// 1 µs .. 1e6 s at ~12% relative resolution — wide enough for every
+/// latency and byte-count this simulator produces.
+struct HistogramConfig {
+  double min = 1e-6;
+  int decades = 12;
+  int buckets_per_decade = 20;
+
+  bool operator==(const HistogramConfig&) const = default;
+
+  [[nodiscard]] int bucket_count() const noexcept {
+    return decades * buckets_per_decade + 2;  // + underflow + overflow
+  }
+  /// Geometric growth factor between consecutive bucket boundaries.
+  [[nodiscard]] double growth() const noexcept;
+};
+
+/// Fixed-bucket log-scale histogram: O(1) insert, O(buckets) percentile,
+/// no samples retained. Not synchronized — MetricsRegistry's Histogram
+/// handle adds the mutex; standalone users (tests, SloMonitor) own their
+/// instances.
+class LogHistogram {
+ public:
+  explicit LogHistogram(HistogramConfig config = {});
+
+  void observe(double value);
+  /// Merge `other` into this; configs must match exactly.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  /// Exact extremes (tracked outside the buckets).
+  [[nodiscard]] double min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] double max() const noexcept { return count_ == 0 ? 0 : max_; }
+
+  /// Percentile estimate, p in [0,100]: nearest-rank bucket walk with
+  /// log-linear interpolation inside the bucket, clamped to the exact
+  /// [min, max]. The estimate lands in the same bucket as the true
+  /// rank-statistic, so the relative error is bounded by one bucket's
+  /// width: est/true ∈ [1/g, g] with g = config().growth(). Empty
+  /// histograms report 0.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const HistogramConfig& config() const noexcept {
+    return config_;
+  }
+  /// Bucket index `value` lands in (0 = underflow, bucket_count()-1 =
+  /// overflow) — exposed so tests can pin boundary exactness.
+  [[nodiscard]] int bucket_for(double value) const noexcept;
+  /// Inclusive lower bound of bucket `i` (underflow: 0; overflow: top).
+  [[nodiscard]] double bucket_lower_bound(int i) const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count_at(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  HistogramConfig config_;
+  double log_min_ = 0.0;       ///< log10(config.min), precomputed
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Monotone counter (lock-free adds).
+class Counter {
+ public:
+  void add(double delta = 1.0) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Last-write-wins level (lock-free set).
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  /// Raise to `value` if it is higher (peak tracking from many threads).
+  void set_max(double value) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < value && !value_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Synchronized LogHistogram handle.
+class Histogram {
+ public:
+  explicit Histogram(HistogramConfig config) : hist_(config) {}
+
+  void observe(double value) {
+    const std::scoped_lock lock(mu_);
+    hist_.observe(value);
+  }
+  [[nodiscard]] LogHistogram snapshot() const {
+    const std::scoped_lock lock(mu_);
+    return hist_;
+  }
+  [[nodiscard]] double percentile(double p) const {
+    const std::scoped_lock lock(mu_);
+    return hist_.percentile(p);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    const std::scoped_lock lock(mu_);
+    return hist_.count();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LogHistogram hist_;
+};
+
+/// Thread-safe named-series registry with label-cardinality accounting and
+/// a JSON snapshot exporter. Registering the same (name, labels) twice
+/// returns the same handle; registering one name as two different types
+/// throws InvalidArgument (a metric name has exactly one type).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       HistogramConfig config = {});
+
+  /// Total registered series (every distinct (name, labels) pair).
+  [[nodiscard]] std::size_t series_count() const;
+  /// Label-set cardinality of one metric name (0 = not registered).
+  [[nodiscard]] std::size_t cardinality(const std::string& name) const;
+
+  /// Canonical "name{k=v,...}" key of a series (what cardinality counts).
+  [[nodiscard]] static std::string series_key(const std::string& name,
+                                              const Labels& labels);
+
+  /// JSON snapshot of every series, sorted by series key:
+  /// {"series":[{"name","labels":{...},"type","value"| histogram fields}]}.
+  /// Histograms export count/sum/min/max/p50/p90/p99/p999 plus the
+  /// non-empty buckets as [lower_bound, count] pairs.
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    std::string name;
+    Labels labels;
+    Type type = Type::kCounter;
+    // Exactly one is non-null, matching `type`.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Series& resolve(const std::string& name, Labels labels, Type type,
+                  const HistogramConfig* hist_config);
+
+  mutable std::mutex mu_;
+  /// std::map: snapshot order (and therefore the exported JSON) is
+  /// deterministic without a sort pass.
+  std::map<std::string, std::unique_ptr<Series>> series_;
+  std::map<std::string, Type> name_types_;
+  std::map<std::string, std::size_t> name_cardinality_;
+};
+
+/// Escape a string for embedding in a JSON string literal (shared by the
+/// metrics snapshot and the trace exporter).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace flstore::obs

@@ -1,0 +1,147 @@
+#include "obs/slo_monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace flstore::obs {
+
+namespace {
+
+std::string window_label(double window_s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", window_s);
+  return buf;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloConfig config) : config_(std::move(config)) {
+  FLSTORE_CHECK(config_.bucket_s > 0.0);
+  FLSTORE_CHECK(!config_.windows_s.empty());
+  FLSTORE_CHECK(config_.good_fraction > 0.0 && config_.good_fraction < 1.0);
+  double max_window = 0.0;
+  for (const double w : config_.windows_s) {
+    FLSTORE_CHECK(w > 0.0);
+    max_window = std::max(max_window, w);
+  }
+  ring_size_ =
+      static_cast<std::size_t>(std::ceil(max_window / config_.bucket_s)) + 1;
+  for (auto& ring : ring_) ring.assign(ring_size_, Bucket{});
+}
+
+void SloMonitor::record(const serve::ServiceRecord& record) {
+  const auto cls = record.policy_class();
+  const auto c = fed::class_index(cls);
+  // Shed requests never completed; book them at arrival. Served requests
+  // book at completion — the moment their goodness is known.
+  const double at_s =
+      record.rejected ? record.request.arrival_s : record.completion_s();
+  const bool bad =
+      record.rejected ||
+      record.latency_s() > config_.objective_latency_s[c];
+  const auto index =
+      static_cast<std::int64_t>(std::floor(at_s / config_.bucket_s));
+
+  const std::scoped_lock lock(mu_);
+  if (latest_index_[c] - index >= static_cast<std::int64_t>(ring_size_)) {
+    ++dropped_old_;  // pre-dates the retained ring entirely
+    return;
+  }
+  auto& slot = ring_[c][static_cast<std::size_t>(
+      ((index % static_cast<std::int64_t>(ring_size_)) +
+       static_cast<std::int64_t>(ring_size_)) %
+      static_cast<std::int64_t>(ring_size_))];
+  if (slot.index != index) slot = Bucket{index, 0, 0};
+  ++slot.total;
+  if (bad) ++slot.bad;
+  latest_index_[c] = std::max(latest_index_[c], index);
+}
+
+std::pair<std::uint64_t, std::uint64_t> SloMonitor::window_counts_locked(
+    fed::PolicyClass cls, double window_s, double now) const {
+  const auto c = fed::class_index(cls);
+  const auto end =
+      static_cast<std::int64_t>(std::floor(now / config_.bucket_s));
+  const auto span = std::min<std::int64_t>(
+      static_cast<std::int64_t>(std::ceil(window_s / config_.bucket_s)),
+      static_cast<std::int64_t>(ring_size_));
+  std::uint64_t bad = 0;
+  std::uint64_t total = 0;
+  for (std::int64_t index = end - span + 1; index <= end; ++index) {
+    const auto& slot = ring_[c][static_cast<std::size_t>(
+        ((index % static_cast<std::int64_t>(ring_size_)) +
+         static_cast<std::int64_t>(ring_size_)) %
+        static_cast<std::int64_t>(ring_size_))];
+    if (slot.index != index) continue;  // empty or from another epoch
+    bad += slot.bad;
+    total += slot.total;
+  }
+  return {bad, total};
+}
+
+double SloMonitor::bad_fraction(fed::PolicyClass cls, double window_s,
+                                double now) const {
+  const std::scoped_lock lock(mu_);
+  const auto [bad, total] = window_counts_locked(cls, window_s, now);
+  return total == 0 ? 0.0
+                    : static_cast<double>(bad) / static_cast<double>(total);
+}
+
+double SloMonitor::burn_rate(fed::PolicyClass cls, double window_s,
+                             double now) const {
+  return bad_fraction(cls, window_s, now) / (1.0 - config_.good_fraction);
+}
+
+std::uint64_t SloMonitor::window_total(fed::PolicyClass cls, double window_s,
+                                       double now) const {
+  const std::scoped_lock lock(mu_);
+  return window_counts_locked(cls, window_s, now).second;
+}
+
+std::uint64_t SloMonitor::dropped_old() const {
+  const std::scoped_lock lock(mu_);
+  return dropped_old_;
+}
+
+void SloMonitor::publish(MetricsRegistry& metrics, double now) const {
+  constexpr fed::PolicyClass kClasses[] = {
+      fed::PolicyClass::kP1, fed::PolicyClass::kP2, fed::PolicyClass::kP3,
+      fed::PolicyClass::kP4};
+  for (const auto cls : kClasses) {
+    for (const double window : config_.windows_s) {
+      const Labels labels{{kLabelClass, to_string(cls)},
+                          {kLabelWindow, window_label(window)}};
+      metrics.gauge("slo_burn_rate", labels)
+          .set(burn_rate(cls, window, now));
+      metrics.gauge("slo_bad_fraction", labels)
+          .set(bad_fraction(cls, window, now));
+      metrics.gauge("slo_window_requests", labels)
+          .set(static_cast<double>(window_total(cls, window, now)));
+    }
+  }
+}
+
+void SloMonitor::observe_dirty_window(
+    MetricsRegistry& metrics, const backend::DirtyWindowStats& stats,
+    const std::string& backend_label) {
+  const Labels labels{{kLabelBackend, backend_label}};
+  metrics.gauge("flush_dirty_bytes", labels)
+      .set(static_cast<double>(stats.dirty_bytes));
+  metrics.gauge("flush_peak_dirty_bytes", labels)
+      .set(static_cast<double>(stats.peak_dirty_bytes));
+  metrics.gauge("flush_acked_unflushed", labels)
+      .set(static_cast<double>(stats.acked_unflushed));
+  metrics.gauge("flush_oldest_dirty_age_s", labels)
+      .set(stats.oldest_dirty_age_s);
+  metrics.gauge("flush_bytes_at_risk_integral", labels)
+      .set(stats.bytes_at_risk_integral);
+  metrics.gauge("flush_drained_bytes", labels)
+      .set(static_cast<double>(stats.drained_bytes));
+  metrics.gauge("flush_lost_bytes", labels)
+      .set(static_cast<double>(stats.lost_bytes));
+}
+
+}  // namespace flstore::obs

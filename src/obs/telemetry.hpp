@@ -1,0 +1,40 @@
+// Telemetry — the one bundle the serving plane threads around.
+//
+// Instrumented subsystems take a `Telemetry*` (null = observability off,
+// zero overhead beyond a pointer test) and use whichever planes they need:
+// the registry for counters/gauges/histograms, the tracer for request
+// spans, the SLO monitor for burn-rate bookkeeping. Owning one object —
+// rather than three pointers — keeps every config knob (sampling rate, SLO
+// windows) in a single place: the bench flag or scenario option that turns
+// telemetry on.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/slo_monitor.hpp"
+#include "obs/trace.hpp"
+
+namespace flstore::obs {
+
+struct Telemetry {
+  struct Config {
+    Tracer::Config trace;
+    SloConfig slo;
+  };
+
+  Telemetry() : tracer(Tracer::Config{}), slo(SloConfig{}) {}
+  explicit Telemetry(Config config) : tracer(config.trace), slo(config.slo) {}
+
+  MetricsRegistry metrics;
+  Tracer tracer;
+  SloMonitor slo;
+};
+
+// Null-safe accessors for call sites holding a maybe-null bundle.
+inline MetricsRegistry* metrics_of(Telemetry* t) noexcept {
+  return t == nullptr ? nullptr : &t->metrics;
+}
+inline Tracer* tracer_of(Telemetry* t) noexcept {
+  return t == nullptr ? nullptr : &t->tracer;
+}
+
+}  // namespace flstore::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+
+namespace flstore::obs {
+
+namespace {
+
+/// One entry of the thread-local parent stack. Frames are tagged with their
+/// tracer so two independent tracers on one thread cannot adopt each
+/// other's spans; id == kNoSpan is the suppressing frame.
+struct ScopeFrame {
+  const Tracer* tracer = nullptr;
+  SpanId id = kNoSpan;
+};
+
+thread_local std::vector<ScopeFrame> t_scopes;
+
+/// Innermost frame of `tracer`: (found, id).
+std::pair<bool, SpanId> innermost_frame(const Tracer* tracer) {
+  for (auto it = t_scopes.rbegin(); it != t_scopes.rend(); ++it) {
+    if (it->tracer == tracer) return {true, it->id};
+  }
+  return {false, kNoSpan};
+}
+
+std::string microseconds(double seconds) {
+  std::ostringstream out;
+  out.precision(15);
+  out << seconds * 1e6;
+  return out.str();
+}
+
+}  // namespace
+
+Tracer::Scope::Scope(Tracer* tracer, SpanId id) : tracer_(tracer) {
+  if (tracer_ != nullptr) t_scopes.push_back({tracer_, id});
+}
+
+Tracer::Scope::~Scope() {
+  if (tracer_ != nullptr) {
+    FLSTORE_CHECK(!t_scopes.empty() && t_scopes.back().tracer == tracer_);
+    t_scopes.pop_back();
+  }
+}
+
+SpanId Tracer::begin(std::string name, std::string category, double start_s,
+                     std::int64_t track) {
+  const auto [in_scope, parent] = innermost_frame(this);
+  if (in_scope && parent == kNoSpan) return kNoSpan;  // suppressed subtree
+  const std::scoped_lock lock(mu_);
+  if (spans_.size() >= config_.max_spans) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  TraceSpan span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_s = start_s;
+  span.end_s = start_s;  // un-ended spans export as zero-length
+  span.track = track;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+SpanId Tracer::begin_detached(std::string name, std::string category,
+                              double start_s, std::int64_t track) {
+  const auto [in_scope, parent] = innermost_frame(this);
+  if (in_scope && parent == kNoSpan) return kNoSpan;  // suppressed subtree
+  const std::scoped_lock lock(mu_);
+  if (spans_.size() >= config_.max_spans) {
+    ++dropped_;
+    return kNoSpan;
+  }
+  TraceSpan span;
+  span.id = next_id_++;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.start_s = start_s;
+  span.end_s = start_s;
+  span.track = track;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+namespace {
+
+/// spans_ stays sorted by id (ids are handed out append-order under the
+/// lock), so end/annotate resolve in O(log n).
+TraceSpan* find_span(std::vector<TraceSpan>& spans, SpanId id) {
+  const auto it = std::lower_bound(
+      spans.begin(), spans.end(), id,
+      [](const TraceSpan& s, SpanId target) { return s.id < target; });
+  return (it != spans.end() && it->id == id) ? &*it : nullptr;
+}
+
+}  // namespace
+
+void Tracer::end(SpanId id, double end_s) {
+  if (id == kNoSpan) return;
+  const std::scoped_lock lock(mu_);
+  auto* span = find_span(spans_, id);
+  FLSTORE_CHECK(span != nullptr);
+  FLSTORE_CHECK(end_s >= span->start_s);
+  span->end_s = end_s;
+}
+
+void Tracer::annotate(SpanId id, std::string key, std::string value) {
+  if (id == kNoSpan) return;
+  const std::scoped_lock lock(mu_);
+  auto* span = find_span(spans_, id);
+  FLSTORE_CHECK(span != nullptr);
+  span->args.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::instant(std::string name, std::string category, double at_s,
+                     std::int64_t track) {
+  const auto id = begin(std::move(name), std::move(category), at_s, track);
+  if (id == kNoSpan) return;
+  const std::scoped_lock lock(mu_);
+  find_span(spans_, id)->instant = true;
+}
+
+std::vector<TraceSpan> Tracer::spans() const {
+  std::vector<TraceSpan> out;
+  {
+    const std::scoped_lock lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceSpan& a, const TraceSpan& b) {
+              if (a.start_s != b.start_s) return a.start_s < b.start_s;
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  const std::scoped_lock lock(mu_);
+  return spans_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  const std::scoped_lock lock(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const auto sorted = spans();
+  std::string out = "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& s = sorted[i];
+    out += "  {\"name\": \"" + json_escape(s.name) + "\", \"cat\": \"" +
+           json_escape(s.category) + "\", \"ph\": \"" +
+           (s.instant ? "i" : "X") + "\", \"ts\": " + microseconds(s.start_s);
+    if (s.instant) {
+      out += ", \"s\": \"t\"";
+    } else {
+      out += ", \"dur\": " + microseconds(s.end_s - s.start_s);
+    }
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(s.track) +
+           ", \"args\": {\"span\": \"" + std::to_string(s.id) +
+           "\", \"parent\": \"" + std::to_string(s.parent) + "\"";
+    for (const auto& [k, v] : s.args) {
+      out += ", \"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+    }
+    out += "}}";
+    out += (i + 1 < sorted.size()) ? ",\n" : "\n";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << chrome_trace_json();
+  return static_cast<bool>(out);
+}
+
+}  // namespace flstore::obs

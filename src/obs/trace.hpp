@@ -1,0 +1,160 @@
+// Tracer — sim-time request tracing with Chrome trace-event export.
+//
+// A TraceSpan is an interval on the *simulated* clock with a name, a
+// category, a parent, and free-form string args. The serving plane emits a
+// parent/child chain along the full request path — scheduler queue →
+// admission → coalescer → cache hit/miss → cold fetch → throttle wait →
+// replica read/failover — and the exporter writes Chrome trace-event JSON
+// (load it at ui.perfetto.dev or chrome://tracing; 1 trace-µs = 1 sim-µs).
+//
+// Parenting uses a thread-local scope stack: a subsystem that opens a span
+// pushes it (Tracer::Scope), and everything emitted below — FLStore's cold
+// fetch, the Coalescer's lead/join, an InstrumentedBackend's get — becomes
+// its child without any signature threading. Each tenant timeline runs
+// sequentially on one thread, so the stack mirrors the virtual-time call
+// tree exactly.
+//
+// Sampling gates at the root: the serving plane asks should_sample(request
+// id) before opening a request span, and an unsampled request pushes a
+// *suppressing* scope so the whole subtree is skipped — child call sites
+// stay unconditional and pay one thread-local read. A null Tracer* disables
+// everything (the free begin_span/end_span helpers below no-op), which is
+// how instrumentation stays default-off with zero overhead.
+//
+// Memory is bounded: past max_spans new spans are dropped (and counted) —
+// a million-op run with sampling keeps the trace Perfetto-sized.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flstore::obs {
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+struct TraceSpan {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;  ///< kNoSpan = root (its own top-level track)
+  std::string name;
+  std::string category;
+  double start_s = 0.0;
+  double end_s = 0.0;       ///< == start_s for instant events
+  bool instant = false;
+  std::int64_t track = 0;   ///< export tid (the serving plane uses shard ids)
+  std::vector<std::pair<std::string, std::string>> args;
+
+  [[nodiscard]] double duration_s() const noexcept { return end_s - start_s; }
+};
+
+class Tracer {
+ public:
+  struct Config {
+    /// Trace every Nth root request (1 = all, 0 = none). Child spans follow
+    /// their root's fate via the scope stack.
+    std::uint64_t sample_every = 1;
+    /// Hard cap on retained spans; beyond it spans drop (counted).
+    std::size_t max_spans = 1 << 20;
+  };
+
+  Tracer() = default;
+  explicit Tracer(Config config) : config_(config) {}
+
+  [[nodiscard]] bool should_sample(std::uint64_t seq) const noexcept {
+    return config_.sample_every != 0 && seq % config_.sample_every == 0;
+  }
+
+  /// Open a span at simulated time `start_s`, parented to the innermost
+  /// enclosing Scope on this thread (kNoSpan outside any scope). Returns
+  /// kNoSpan — and records nothing — under a suppressing scope or past the
+  /// span cap.
+  SpanId begin(std::string name, std::string category, double start_s,
+               std::int64_t track = 0);
+  /// Same, but parentless even inside a scope: for work that outlives its
+  /// requester (prefetch, async result write-back) and must not pretend to
+  /// nest inside the request interval. Still suppressed with the scope.
+  SpanId begin_detached(std::string name, std::string category, double start_s,
+                        std::int64_t track = 0);
+  void end(SpanId id, double end_s);
+  void annotate(SpanId id, std::string key, std::string value);
+  /// Zero-duration marker (admission rejections, failovers).
+  void instant(std::string name, std::string category, double at_s,
+               std::int64_t track = 0);
+
+  /// RAII parent scope. Pushing kNoSpan *suppresses* every span opened
+  /// below it (the unsampled-request path); pushing a real id parents them.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, SpanId id);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer* tracer_;
+  };
+
+  /// Snapshot sorted by (start_s, id) — deterministic across thread
+  /// interleavings for deterministic span content.
+  [[nodiscard]] std::vector<TraceSpan> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  /// Chrome trace-event JSON (the object form: {"traceEvents":[...]}).
+  /// Spans export as "X" complete events with ts/dur in microseconds of
+  /// simulated time; instants as "i". Span/parent ids ride in args so
+  /// tooling (and the schema ctest) can rebuild the tree.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Write chrome_trace_json() to `path`; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  friend class Scope;
+
+  Config config_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  SpanId next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+// Null-safe helpers: every instrumentation call site takes a Tracer* that
+// is null when telemetry is off, and these keep the call sites branch-free.
+inline SpanId begin_span(Tracer* tracer, std::string name,
+                         std::string category, double start_s,
+                         std::int64_t track = 0) {
+  return tracer == nullptr ? kNoSpan
+                           : tracer->begin(std::move(name),
+                                           std::move(category), start_s,
+                                           track);
+}
+inline SpanId begin_detached_span(Tracer* tracer, std::string name,
+                                  std::string category, double start_s,
+                                  std::int64_t track = 0) {
+  return tracer == nullptr
+             ? kNoSpan
+             : tracer->begin_detached(std::move(name), std::move(category),
+                                      start_s, track);
+}
+inline void end_span(Tracer* tracer, SpanId id, double end_s) {
+  if (tracer != nullptr) tracer->end(id, end_s);
+}
+inline void annotate_span(Tracer* tracer, SpanId id, std::string key,
+                          std::string value) {
+  if (tracer != nullptr && id != kNoSpan) {
+    tracer->annotate(id, std::move(key), std::move(value));
+  }
+}
+inline void instant_span(Tracer* tracer, std::string name,
+                         std::string category, double at_s,
+                         std::int64_t track = 0) {
+  if (tracer != nullptr) {
+    tracer->instant(std::move(name), std::move(category), at_s, track);
+  }
+}
+
+}  // namespace flstore::obs

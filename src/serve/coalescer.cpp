@@ -1,5 +1,7 @@
 #include "serve/coalescer.hpp"
 
+#include <optional>
+
 namespace flstore::serve {
 
 core::ColdFetchInterceptor::Fetched Coalescer::fetch(
@@ -15,12 +17,30 @@ core::ColdFetchInterceptor::Fetched Coalescer::fetch(
     ++stats_.joins;
     stats_.fees_saved_usd += f.fee_usd;
     stats_.wait_saved_s += f.latency_s - (f.ready_s - now);
+    const auto span =
+        obs::begin_span(tracer_, "coalesce.join", "serve", now);
+    if (span != obs::kNoSpan) {
+      tracer_->end(span, f.ready_s);
+      tracer_->annotate(span, "object", object_name);
+    }
     return {true, f.blob, f.logical_bytes, f.ready_s - now,
             /*request_fee_usd=*/0.0};
   }
 
   // Lead: issue the real fetch and open a window other shards can join.
-  auto got = cold.get(object_name, now);
+  const auto span = obs::begin_span(tracer_, "coalesce.lead", "serve", now);
+  backend::GetResult got;
+  {
+    // The backend's own op span (InstrumentedBackend) nests under the lead.
+    std::optional<obs::Tracer::Scope> scope;
+    if (tracer_ != nullptr) scope.emplace(tracer_, span);
+    got = cold.get(object_name, now);
+  }
+  if (span != obs::kNoSpan) {
+    tracer_->end(span, now + got.latency_s);
+    tracer_->annotate(span, "object", object_name);
+    tracer_->annotate(span, "found", got.found ? "true" : "false");
+  }
   if (!got.found) {
     // Misses pay the control-plane round trip but open no window (the
     // object may appear any moment via ingest backup).

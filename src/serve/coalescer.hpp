@@ -28,6 +28,7 @@
 #include <unordered_map>
 
 #include "core/cold_fetch.hpp"
+#include "obs/trace.hpp"
 
 namespace flstore::serve {
 
@@ -68,6 +69,11 @@ class Coalescer final : public core::ColdFetchInterceptor {
   /// numbers snapshot stats() around the phase (ShardedStore does).
   void reset();
 
+  /// Emit "coalesce.lead"/"coalesce.join" spans on `tracer` (non-owning;
+  /// nullptr disables). Lead spans cover the real transfer and parent the
+  /// backend's own op span; join spans cover only the residual wait.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct InFlight {
     double start_s = 0.0;
@@ -79,6 +85,7 @@ class Coalescer final : public core::ColdFetchInterceptor {
   };
 
   Config config_;
+  obs::Tracer* tracer_ = nullptr;
   mutable std::mutex mu_;
   std::unordered_map<std::string, InFlight> inflight_;
   Stats stats_;

@@ -80,4 +80,27 @@ SampleSet ServiceReport::queue_waits() const {
   return out;
 }
 
+double ServiceReport::hit_rate(std::optional<fed::PolicyClass> filter) const {
+  std::uint64_t hits = 0, total = 0;
+  for (const auto& r : records) {
+    if (r.rejected) continue;
+    if (filter.has_value() && r.policy_class() != *filter) continue;
+    hits += r.hits;
+    total += r.hits + r.misses;
+  }
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double ServiceReport::latency_percentile_s(
+    double p, std::optional<fed::PolicyClass> filter) const {
+  const auto samples = latencies(filter);
+  return samples.size() > 0 ? samples.percentile(p) : 0.0;
+}
+
+double ServiceReport::mean_queue_wait_s() const {
+  const auto waits = queue_waits();
+  return waits.size() > 0 ? waits.mean() : 0.0;
+}
+
 }  // namespace flstore::serve

@@ -60,6 +60,19 @@ struct ServiceReport {
   [[nodiscard]] SampleSet latencies(
       std::optional<fed::PolicyClass> filter = std::nullopt) const;
   [[nodiscard]] SampleSet queue_waits() const;
+
+  // Zero-completion-safe ratio metrics: SampleSet throws on empty stats (a
+  // deliberate contract), so an all-rejected or empty run must go through
+  // these — they report 0, never NaN or a throw.
+
+  /// Cache hit fraction over completed requests (hits / (hits + misses)).
+  [[nodiscard]] double hit_rate(
+      std::optional<fed::PolicyClass> filter = std::nullopt) const;
+  /// latencies(filter).percentile(p), or 0 with no completed requests.
+  [[nodiscard]] double latency_percentile_s(
+      double p, std::optional<fed::PolicyClass> filter = std::nullopt) const;
+  /// queue_waits().mean(), or 0 with no completed requests.
+  [[nodiscard]] double mean_queue_wait_s() const;
 };
 
 }  // namespace flstore::serve

@@ -73,12 +73,14 @@ JobId ShardedStore::add_tenant(const fed::FLJob& job,
   tenant.id = id;
   tenant.job = &job;
   coalescers_.push_back(std::make_unique<Coalescer>());
+  coalescers_.back()->set_tracer(obs::tracer_of(config_.telemetry));
   for (int i = 0; i < cache_shards; ++i) {
     auto cfg = store_config;
     cfg.backup_to_cold = store_config.backup_to_cold && i == 0;
     auto shard = std::make_unique<Shard>();
     shard->tenant = id;
     shard->store = std::make_unique<core::FLStore>(cfg, job, *cold_);
+    shard->store->set_telemetry(config_.telemetry);
     if (config_.coalesce_cold_fetches) {
       shard->store->set_cold_fetch_interceptor(coalescers_.back().get());
     }
@@ -201,9 +203,29 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     scheds.assign(n_local, RequestScheduler(config_.scheduler));
   }
 
+  obs::Telemetry* const telemetry = config_.telemetry;
+  obs::Tracer* const tracer = obs::tracer_of(telemetry);
+
   const auto serve_on = [&](std::size_t local,
                             const fed::NonTrainingRequest& req, double start) {
-    auto& shard = *shards_[static_cast<std::size_t>(tenant.shards[local])];
+    const int global = tenant.shards[local];
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    // Root span per sampled request; an unsampled request pushes the
+    // suppressing scope so the whole subtree (flstore.serve, coalescer,
+    // backend ops) is skipped with it.
+    obs::SpanId root = obs::kNoSpan;
+    std::optional<obs::Tracer::Scope> scope;
+    if (tracer != nullptr) {
+      if (tracer->should_sample(req.id)) {
+        root = tracer->begin("request", "serve", req.arrival_s, global);
+      }
+      scope.emplace(tracer, root);
+      if (root != obs::kNoSpan && start > req.arrival_s) {
+        const auto queue =
+            tracer->begin("sched.queue", "serve", req.arrival_s, global);
+        tracer->end(queue, start);
+      }
+    }
     core::ServeResult res;
     {
       const std::scoped_lock lock(shard.mu);
@@ -211,7 +233,7 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     }
     ServiceRecord rec;
     rec.tenant = tenant.id;
-    rec.shard = tenant.shards[local];
+    rec.shard = global;
     rec.request = req;
     rec.start_s = start;
     rec.queue_s = start - req.arrival_s;
@@ -220,6 +242,28 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     rec.cost_usd = res.cost_usd;
     rec.hits = res.hits;
     rec.misses = res.misses;
+    if (root != obs::kNoSpan) {
+      tracer->annotate(root, "tenant", std::to_string(tenant.id));
+      tracer->annotate(root, "class", fed::to_string(rec.policy_class()));
+      tracer->annotate(root, "request", std::to_string(req.id));
+      tracer->end(root, rec.completion_s());
+    }
+    if (telemetry != nullptr) {
+      const char* const cls = fed::to_string(rec.policy_class());
+      telemetry->metrics
+          .counter("serve_requests_total",
+                   {{obs::kLabelTenant, std::to_string(tenant.id)},
+                    {obs::kLabelClass, cls},
+                    {obs::kLabelShard, std::to_string(global)}})
+          .add();
+      telemetry->metrics
+          .histogram("serve_request_latency_s", {{obs::kLabelClass, cls}})
+          .observe(rec.latency_s());
+      telemetry->metrics
+          .histogram("serve_queue_wait_s", {{obs::kLabelClass, cls}})
+          .observe(rec.queue_s);
+      telemetry->slo.record(rec);
+    }
     out.push_back(rec);
     return res;
   };
@@ -264,6 +308,19 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
           rec.request = ev.req.request;
           rec.rejected = true;
           rec.start_s = ev.time;
+          if (telemetry != nullptr) {
+            if (tracer->should_sample(ev.req.request.id)) {
+              tracer->instant("sched.reject", "serve", ev.time,
+                              tenant.shards[local]);
+            }
+            telemetry->metrics
+                .counter("serve_rejected_total",
+                         {{obs::kLabelTenant, std::to_string(tenant.id)},
+                          {obs::kLabelClass,
+                           fed::to_string(rec.policy_class())}})
+                .add();
+            telemetry->slo.record(rec);
+          }
           out.push_back(rec);
           if (closed != nullptr) {
             // The virtual user was shed, not absorbed: it backs off one
@@ -363,6 +420,19 @@ ServiceReport ShardedStore::run_all_tenants(
                            coalescer_before.fees_saved_usd,
                        coalescer_after.wait_saved_s -
                            coalescer_before.wait_saved_s};
+  if (config_.telemetry != nullptr) {
+    // Publish the autoscaler inputs at the run's end: burn-rate gauges from
+    // everything recorded above, plus the shared cold tier's
+    // crash-consistency exposure.
+    double end_s = horizon_s;
+    for (const auto& r : report.records) {
+      if (!r.rejected) end_s = std::max(end_s, r.completion_s());
+    }
+    config_.telemetry->slo.publish(config_.telemetry->metrics, end_s);
+    obs::SloMonitor::observe_dirty_window(config_.telemetry->metrics,
+                                          dirty_window_stats(end_s),
+                                          cold_->name());
+  }
   return report;
 }
 

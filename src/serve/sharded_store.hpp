@@ -31,6 +31,7 @@
 #include "backend/storage_backend.hpp"
 #include "cloud/object_store.hpp"
 #include "core/flstore.hpp"
+#include "obs/telemetry.hpp"
 #include "serve/coalescer.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/scheduler.hpp"
@@ -72,6 +73,15 @@ struct ShardedStoreConfig {
   /// the slice, so scheduled flush traffic respects the backend's token
   /// bucket instead of starving concurrent reads.
   std::optional<backend::FlushPolicy> cold_flush;
+  /// Unified telemetry plane (non-owning; nullptr = observability off, the
+  /// default — zero overhead). When set, every tenant timeline emits the
+  /// request span chain (request → sched.queue → flstore.serve →
+  /// cache/cold/backend spans), per-class latency/queue histograms and
+  /// request counters, feeds the SLO burn-rate monitor per record, and each
+  /// run publishes the burn-rate and dirty-window gauges at its horizon.
+  /// Pure bookkeeping: per-request results are bit-identical either way
+  /// (regression-tested).
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class ShardedStore {

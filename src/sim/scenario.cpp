@@ -5,6 +5,7 @@
 #include "backend/object_store_backend.hpp"
 #include "backend/replicated_cold_store.hpp"
 #include "common/error.hpp"
+#include "obs/instrumented_backend.hpp"
 
 namespace flstore::sim {
 
@@ -26,6 +27,7 @@ Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
   fl_cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
   fl_cfg.cold_flush = config_.cold_flush;
   flstore_ = std::make_unique<core::FLStore>(fl_cfg, *job_, *backend_);
+  flstore_->set_telemetry(config_.telemetry);
 
   baselines::BaselineConfig base_cfg;
   base_cfg.vm_profile = vm_profile();
@@ -56,10 +58,27 @@ std::unique_ptr<core::FLStore> Scenario::make_flstore_variant(
   cfg.pool.replicas = replicas;
   cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
   cfg.cold_flush = config_.cold_flush;
-  return std::make_unique<core::FLStore>(cfg, *job_, *backend_);
+  auto store = std::make_unique<core::FLStore>(cfg, *job_, *backend_);
+  store->set_telemetry(config_.telemetry);
+  return store;
+}
+
+std::unique_ptr<backend::StorageBackend> Scenario::instrumented(
+    std::unique_ptr<backend::StorageBackend> raw) const {
+  if (config_.telemetry == nullptr) return raw;
+  obs::InstrumentedBackend::Options opts;
+  opts.metrics = &config_.telemetry->metrics;
+  opts.tracer = &config_.telemetry->tracer;
+  return std::make_unique<obs::InstrumentedBackend>(std::move(raw),
+                                                    std::move(opts));
 }
 
 std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
+    backend::BackendKind kind) const {
+  return instrumented(make_raw_backend(kind));
+}
+
+std::unique_ptr<backend::StorageBackend> Scenario::make_raw_backend(
     backend::BackendKind kind) const {
   switch (kind) {
     case backend::BackendKind::kObjectStore:
@@ -86,6 +105,9 @@ std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
 std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
     backend::BackendKind kind, const ColdReplicationSpec& replication) const {
   if (replication.regions <= 1) return make_cold_backend(kind);
+  // Regions stay raw; the composition is instrumented once at the top, so
+  // op counters and spans cover the replicated store's client-visible
+  // behaviour (quorums, failover) rather than each region's share.
   std::vector<backend::ReplicatedColdStore::Region> regions;
   regions.reserve(static_cast<std::size_t>(replication.regions));
   for (int i = 0; i < replication.regions; ++i) {
@@ -102,15 +124,15 @@ std::unique_ptr<backend::StorageBackend> Scenario::make_cold_backend(
       // The single-backend wiring, calibration included (kObjectStore at
       // i == 0 adapts the shared store; cache/SSD kinds own their tier
       // either way).
-      region.owned = make_cold_backend(kind);
+      region.owned = make_raw_backend(kind);
     }
     regions.push_back(std::move(region));
   }
   backend::ReplicatedColdStore::Config cfg;
   cfg.write_quorum = replication.write_quorum;
   cfg.read_repair = replication.read_repair;
-  return std::make_unique<backend::ReplicatedColdStore>(
-      std::move(regions), cfg, PricingCatalog::aws());
+  return instrumented(std::make_unique<backend::ReplicatedColdStore>(
+      std::move(regions), cfg, PricingCatalog::aws()));
 }
 
 std::unique_ptr<core::FLStore> Scenario::make_flstore_over(
@@ -121,7 +143,9 @@ std::unique_ptr<core::FLStore> Scenario::make_flstore_over(
   cfg.cache_capacity = cache_capacity;
   cfg.pool.function_memory = function_sizing_for(job_->model()).memory;
   cfg.cold_flush = config_.cold_flush;
-  return std::make_unique<core::FLStore>(cfg, *job_, cold);
+  auto store = std::make_unique<core::FLStore>(cfg, *job_, cold);
+  store->set_telemetry(config_.telemetry);
+  return store;
 }
 
 }  // namespace flstore::sim

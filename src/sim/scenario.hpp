@@ -21,6 +21,7 @@
 #include "core/flstore.hpp"
 #include "fed/fl_job.hpp"
 #include "fed/trace.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/calibration.hpp"
 
 namespace flstore::sim {
@@ -58,6 +59,13 @@ struct ScenarioConfig {
   /// instances). The default keeps the legacy flush-at-every-round cadence;
   /// a no-op unless the cold backend is a write-back composition.
   backend::FlushPolicy cold_flush;
+  /// Unified telemetry plane (non-owning; nullptr = observability off, the
+  /// default). When set, every cold backend the scenario builds is wrapped
+  /// in an owning obs::InstrumentedBackend (op counters, latency
+  /// histograms, throttle-wait attribution) and every FLStore it builds
+  /// gets the bundle via set_telemetry. Latencies, fees, and contents are
+  /// bit-identical either way — the decorator is pure bookkeeping.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class Scenario {
@@ -111,6 +119,14 @@ class Scenario {
       units::Bytes cache_capacity = 0) const;
 
  private:
+  /// make_cold_backend's body without the telemetry wrap (the replicated
+  /// composition instruments once at the top, not per region).
+  [[nodiscard]] std::unique_ptr<backend::StorageBackend> make_raw_backend(
+      backend::BackendKind kind) const;
+  /// Wrap `raw` in an owning InstrumentedBackend when telemetry is on.
+  [[nodiscard]] std::unique_ptr<backend::StorageBackend> instrumented(
+      std::unique_ptr<backend::StorageBackend> raw) const;
+
   ScenarioConfig config_;
   std::unique_ptr<fed::FLJob> job_;
   std::unique_ptr<ObjectStore> store_;

@@ -1,0 +1,63 @@
+// Logger thread-safety: concurrent writers and level changes must not race
+// (the serving plane logs from worker threads). Run under TSan in CI.
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace flstore {
+namespace {
+
+struct LevelGuard {
+  LogLevel saved = Logger::level();
+  ~LevelGuard() { Logger::set_level(saved); }
+};
+
+TEST(Logger, LevelRoundTrips) {
+  const LevelGuard guard;
+  Logger::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Logger::level(), LogLevel::kDebug);
+  Logger::set_level(LogLevel::kOff);
+  EXPECT_EQ(Logger::level(), LogLevel::kOff);
+}
+
+TEST(Logger, FilteredMacroSkipsTheWrite) {
+  const LevelGuard guard;
+  Logger::set_level(LogLevel::kOff);
+  // With the level above every message, the macro short-circuits before
+  // building the LogLine: the streamed operands are never evaluated and
+  // nothing reaches the sink.
+  FLSTORE_DEBUG << "never formatted";
+  FLSTORE_WARN << "never formatted";
+  SUCCEED();
+}
+
+TEST(Logger, ConcurrentWritersAndLevelChangesDoNotRace) {
+  const LevelGuard guard;
+  Logger::set_level(LogLevel::kOff);  // keep CI output quiet; still races
+                                      // through level() if unsynchronized
+  std::vector<std::thread> threads;
+  threads.reserve(5);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        Logger::write(LogLevel::kDebug,
+                      "writer " + std::to_string(t) + " line " +
+                          std::to_string(i));
+      }
+    });
+  }
+  threads.emplace_back([] {
+    for (int i = 0; i < 100; ++i) {
+      Logger::set_level(i % 2 == 0 ? LogLevel::kOff : LogLevel::kError);
+    }
+  });
+  for (auto& th : threads) th.join();
+  Logger::set_level(LogLevel::kOff);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace flstore

@@ -1,0 +1,211 @@
+// LogHistogram geometry (boundary exactness, percentile error bound vs the
+// sample-retaining SampleSet, merge) and MetricsRegistry semantics (stable
+// handles, label canonicalization, cardinality accounting, one type per
+// name).
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace flstore::obs {
+namespace {
+
+TEST(LogHistogram, BucketBoundariesAreExact) {
+  LogHistogram h;
+  const auto& cfg = h.config();
+  // Values below min (zeros included) land in the underflow bucket; min
+  // itself opens bucket 1.
+  EXPECT_EQ(h.bucket_for(0.0), 0);
+  EXPECT_EQ(h.bucket_for(cfg.min / 2.0), 0);
+  EXPECT_EQ(h.bucket_for(-1.0), 0);
+  EXPECT_EQ(h.bucket_for(cfg.min), 1);
+  // Every bucket's inclusive lower bound maps back to that bucket, and a
+  // value epsilon below it maps to the bucket before — the boundary is
+  // exact, not one-off under floating-point log arithmetic.
+  for (int i = 1; i < cfg.bucket_count() - 1; i += 7) {
+    const double lo = h.bucket_lower_bound(i);
+    EXPECT_EQ(h.bucket_for(lo), i) << "bucket " << i;
+    EXPECT_EQ(h.bucket_for(lo * (1.0 - 1e-12)), i - 1) << "bucket " << i;
+  }
+  // The overflow bucket catches the top boundary and everything above.
+  const int last = cfg.bucket_count() - 1;
+  EXPECT_EQ(h.bucket_for(h.bucket_lower_bound(last)), last);
+  EXPECT_EQ(h.bucket_for(1e300), last);
+}
+
+TEST(LogHistogram, ObserveCountsIntoOneBucket) {
+  LogHistogram h;
+  h.observe(0.5);
+  h.observe(0.5);
+  const int bucket = h.bucket_for(0.5);
+  EXPECT_EQ(h.bucket_count_at(bucket), 2U);
+  EXPECT_EQ(h.count(), 2U);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 0.5);
+}
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(LogHistogram, PercentileWithinOneBucketOfNearestRank) {
+  // The documented bound: the estimate lands in the same bucket as the true
+  // nearest-rank statistic, so est/true ∈ [1/g, g]. Random log-uniform
+  // samples spanning six decades, fixed seed.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> exponent(-4.0, 2.0);
+  LogHistogram h;
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = std::pow(10.0, exponent(rng));
+    samples.push_back(v);
+    h.observe(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  const double g = h.config().growth();
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+    const double truth = samples[std::min(samples.size() - 1,
+                                          rank == 0 ? 0 : rank - 1)];
+    const double est = h.percentile(p);
+    EXPECT_LE(est, truth * g) << "p" << p;
+    EXPECT_GE(est, truth / g) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, PercentileTracksSampleSetWithinBucketError) {
+  // Against SampleSet's interpolated percentile the slack doubles (its
+  // interpolation can cross into the neighbouring bucket): est/true ∈
+  // [1/g², g²].
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> lat(-2.0, 1.0);  // ~135 ms median
+  LogHistogram h;
+  SampleSet exact;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = lat(rng);
+    h.observe(v);
+    exact.add(v);
+  }
+  const double g2 = h.config().growth() * h.config().growth();
+  for (const double p : {50.0, 90.0, 99.0}) {
+    const double truth = exact.percentile(p);
+    const double est = h.percentile(p);
+    EXPECT_LE(est, truth * g2) << "p" << p;
+    EXPECT_GE(est, truth / g2) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, PercentileClampsToExactExtremes) {
+  LogHistogram h;
+  h.observe(0.25);
+  h.observe(0.75);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 0.75);
+}
+
+TEST(LogHistogram, MergeMatchesSingleHistogram) {
+  LogHistogram a, b, both;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> val(1e-4, 10.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = val(rng);
+    ((i % 2 == 0) ? a : b).observe(v);
+    both.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (const double p : {10.0, 50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), both.percentile(p)) << "p" << p;
+  }
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedConfigs) {
+  LogHistogram a;
+  HistogramConfig other;
+  other.buckets_per_decade = 10;
+  LogHistogram b(other);
+  EXPECT_THROW(a.merge(b), InternalError);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndSharedAcrossLabelOrder) {
+  MetricsRegistry reg;
+  auto& c1 = reg.counter("requests_total", {{"a", "1"}, {"b", "2"}});
+  auto& c2 = reg.counter("requests_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&c1, &c2);  // labels canonicalize: one series, one handle
+  c1.add(3.0);
+  EXPECT_DOUBLE_EQ(c2.value(), 3.0);
+  EXPECT_EQ(reg.series_count(), 1U);
+}
+
+TEST(MetricsRegistry, CardinalityCountsLabelSetsPerName) {
+  MetricsRegistry reg;
+  for (int shard = 0; shard < 4; ++shard) {
+    reg.counter("serve_requests_total",
+                {{kLabelShard, std::to_string(shard)}});
+  }
+  reg.gauge("slo_burn_rate", {{kLabelClass, "P1"}});
+  EXPECT_EQ(reg.cardinality("serve_requests_total"), 4U);
+  EXPECT_EQ(reg.cardinality("slo_burn_rate"), 1U);
+  EXPECT_EQ(reg.cardinality("never_registered"), 0U);
+  EXPECT_EQ(reg.series_count(), 5U);
+}
+
+TEST(MetricsRegistry, OneTypePerName) {
+  MetricsRegistry reg;
+  reg.counter("cache_hits_total");
+  EXPECT_THROW(reg.gauge("cache_hits_total"), InvalidArgument);
+  EXPECT_THROW(reg.histogram("cache_hits_total"), InvalidArgument);
+}
+
+TEST(MetricsRegistry, DuplicateLabelKeysRejected) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("m", {{"a", "1"}, {"a", "2"}}), InvalidArgument);
+}
+
+TEST(MetricsRegistry, SeriesKeyIsCanonical) {
+  EXPECT_EQ(MetricsRegistry::series_key("m", {{"b", "2"}, {"a", "1"}}),
+            "m{a=1,b=2}");
+  EXPECT_EQ(MetricsRegistry::series_key("m", {}), "m");
+}
+
+TEST(MetricsRegistry, SnapshotJsonListsEverySeries) {
+  MetricsRegistry reg;
+  reg.counter("cache_hits_total", {{kLabelClass, "P1"}}).add(5.0);
+  reg.gauge("slo_burn_rate").set(1.5);
+  reg.histogram("serve_request_latency_s").observe(0.25);
+  const auto json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"series\""), std::string::npos);
+  EXPECT_NE(json.find("cache_hits_total"), std::string::npos);
+  EXPECT_NE(json.find("slo_burn_rate"), std::string::npos);
+  EXPECT_NE(json.find("serve_request_latency_s"), std::string::npos);
+  EXPECT_NE(json.find("\"class\": \"P1\""), std::string::npos);
+}
+
+TEST(GaugeTest, SetMaxKeepsPeak) {
+  Gauge g;
+  g.set_max(2.0);
+  g.set_max(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set(0.5);  // plain set always wins
+  EXPECT_DOUBLE_EQ(g.value(), 0.5);
+}
+
+}  // namespace
+}  // namespace flstore::obs

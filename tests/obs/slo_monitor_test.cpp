@@ -1,0 +1,124 @@
+// SloMonitor: burn-rate arithmetic, rolling-window mechanics on the
+// absolute-index ring, rejected-request booking, and the gauge exports the
+// autoscaler control loop will consume.
+#include "obs/slo_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flstore::obs {
+namespace {
+
+serve::ServiceRecord record_at(double completion_s, double latency_s,
+                               fed::WorkloadType type) {
+  serve::ServiceRecord rec;
+  rec.request.type = type;
+  rec.request.arrival_s = completion_s - latency_s;
+  rec.start_s = rec.request.arrival_s;
+  rec.comm_s = latency_s;  // latency_s() = queue + comm + comp
+  return rec;
+}
+
+serve::ServiceRecord rejected_at(double arrival_s, fed::WorkloadType type) {
+  serve::ServiceRecord rec;
+  rec.request.type = type;
+  rec.request.arrival_s = arrival_s;
+  rec.rejected = true;
+  return rec;
+}
+
+TEST(SloMonitor, BurnRateIsBadFractionOverBudget) {
+  SloConfig cfg;
+  cfg.good_fraction = 0.9;  // 10% error budget: burn 1.0 = 10% bad
+  SloMonitor slo(cfg);
+  // P1 objective is 1.0 s: eight good requests, two over the objective.
+  for (int i = 0; i < 8; ++i) {
+    slo.record(record_at(10.0 + i, 0.5, fed::WorkloadType::kInference));
+  }
+  slo.record(record_at(20.0, 3.0, fed::WorkloadType::kInference));
+  slo.record(record_at(21.0, 3.0, fed::WorkloadType::kInference));
+  const double now = 30.0;
+  EXPECT_EQ(slo.window_total(fed::PolicyClass::kP1, 60.0, now), 10U);
+  EXPECT_DOUBLE_EQ(slo.bad_fraction(fed::PolicyClass::kP1, 60.0, now), 0.2);
+  EXPECT_NEAR(slo.burn_rate(fed::PolicyClass::kP1, 60.0, now), 2.0, 1e-12);
+  // Other classes saw nothing: empty windows report 0, not NaN.
+  EXPECT_DOUBLE_EQ(slo.burn_rate(fed::PolicyClass::kP2, 60.0, now), 0.0);
+}
+
+TEST(SloMonitor, RejectionsAreBadAtArrivalTime) {
+  SloMonitor slo;
+  slo.record(rejected_at(5.0, fed::WorkloadType::kInference));
+  EXPECT_EQ(slo.window_total(fed::PolicyClass::kP1, 60.0, 10.0), 1U);
+  EXPECT_DOUBLE_EQ(slo.bad_fraction(fed::PolicyClass::kP1, 60.0, 10.0), 1.0);
+}
+
+TEST(SloMonitor, WindowRollsForward) {
+  SloConfig cfg;
+  cfg.windows_s = {60.0, 600.0};
+  cfg.bucket_s = 5.0;
+  SloMonitor slo(cfg);
+  // One bad request early, a good one late.
+  slo.record(record_at(10.0, 9.0, fed::WorkloadType::kInference));  // bad
+  slo.record(record_at(500.0, 0.1, fed::WorkloadType::kInference));
+  // At t=520 the short window only sees the late (good) request; the long
+  // window still carries both.
+  EXPECT_EQ(slo.window_total(fed::PolicyClass::kP1, 60.0, 520.0), 1U);
+  EXPECT_DOUBLE_EQ(slo.bad_fraction(fed::PolicyClass::kP1, 60.0, 520.0), 0.0);
+  EXPECT_EQ(slo.window_total(fed::PolicyClass::kP1, 600.0, 520.0), 2U);
+  EXPECT_DOUBLE_EQ(slo.bad_fraction(fed::PolicyClass::kP1, 600.0, 520.0),
+                   0.5);
+}
+
+TEST(SloMonitor, RecordsOlderThanTheRingAreDroppedAndCounted) {
+  SloConfig cfg;
+  cfg.windows_s = {60.0};
+  cfg.bucket_s = 5.0;
+  SloMonitor slo(cfg);
+  slo.record(record_at(10000.0, 0.1, fed::WorkloadType::kInference));
+  EXPECT_EQ(slo.dropped_old(), 0U);
+  // A record from before the entire retained ring cannot be booked without
+  // corrupting a live bucket — it drops and counts.
+  slo.record(record_at(1.0, 0.1, fed::WorkloadType::kInference));
+  EXPECT_EQ(slo.dropped_old(), 1U);
+  EXPECT_EQ(slo.window_total(fed::PolicyClass::kP1, 60.0, 10000.0), 1U);
+}
+
+TEST(SloMonitor, PublishExportsGaugesPerClassAndWindow) {
+  SloConfig cfg;
+  cfg.good_fraction = 0.9;
+  cfg.windows_s = {60.0};
+  SloMonitor slo(cfg);
+  slo.record(record_at(10.0, 5.0, fed::WorkloadType::kInference));  // bad
+  MetricsRegistry metrics;
+  slo.publish(metrics, 30.0);
+  const Labels p1{{kLabelClass, "P1"}, {kLabelWindow, "60"}};
+  EXPECT_NEAR(metrics.gauge("slo_burn_rate", p1).value(), 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo_bad_fraction", p1).value(), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo_window_requests", p1).value(), 1.0);
+  // All four classes export for every window, even the quiet ones.
+  EXPECT_EQ(metrics.cardinality("slo_burn_rate"), 4U);
+}
+
+TEST(SloMonitor, ObserveDirtyWindowExportsFlushGauges) {
+  backend::DirtyWindowStats stats;
+  stats.dirty_bytes = 1024;
+  stats.peak_dirty_bytes = 4096;
+  stats.acked_unflushed = 3;
+  stats.oldest_dirty_age_s = 7.5;
+  stats.bytes_at_risk_integral = 12345.0;
+  stats.drained_bytes = 2048;
+  stats.lost_bytes = 0;
+  MetricsRegistry metrics;
+  SloMonitor::observe_dirty_window(metrics, stats, "object-store");
+  const Labels labels{{kLabelBackend, "object-store"}};
+  EXPECT_DOUBLE_EQ(metrics.gauge("flush_dirty_bytes", labels).value(),
+                   1024.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("flush_peak_dirty_bytes", labels).value(),
+                   4096.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.gauge("flush_oldest_dirty_age_s", labels).value(), 7.5);
+  EXPECT_DOUBLE_EQ(
+      metrics.gauge("flush_bytes_at_risk_integral", labels).value(), 12345.0);
+}
+
+}  // namespace
+}  // namespace flstore::obs

@@ -1,0 +1,216 @@
+// Tracer semantics (scope-stack parenting, sampling suppression, detached
+// spans, the span cap) and the trace-event export schema: the JSON must be
+// well-formed, spans must nest inside their parents, and no span may have a
+// negative duration — the structural contract Perfetto and the CI artifact
+// rely on.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace flstore::obs {
+namespace {
+
+TEST(Tracer, ScopeStackParentsChildSpans) {
+  Tracer tracer;
+  const auto root = tracer.begin("request", "serve", 0.0);
+  ASSERT_NE(root, kNoSpan);
+  {
+    const Tracer::Scope scope(&tracer, root);
+    const auto child = tracer.begin("flstore.serve", "core", 0.1);
+    ASSERT_NE(child, kNoSpan);
+    {
+      const Tracer::Scope inner(&tracer, child);
+      const auto leaf = tracer.begin("backend.get", "backend", 0.2);
+      tracer.end(leaf, 0.3);
+    }
+    tracer.end(child, 0.4);
+  }
+  tracer.end(root, 0.5);
+  // Outside every scope, spans are roots again.
+  const auto detached_root = tracer.begin("other", "serve", 1.0);
+  tracer.end(detached_root, 1.1);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4U);
+  std::map<std::string, TraceSpan> by_name;
+  for (const auto& s : spans) by_name[s.name] = s;
+  EXPECT_EQ(by_name.at("request").parent, kNoSpan);
+  EXPECT_EQ(by_name.at("flstore.serve").parent, by_name.at("request").id);
+  EXPECT_EQ(by_name.at("backend.get").parent, by_name.at("flstore.serve").id);
+  EXPECT_EQ(by_name.at("other").parent, kNoSpan);
+}
+
+TEST(Tracer, SuppressingScopeDropsSubtree) {
+  Tracer tracer;
+  {
+    const Tracer::Scope suppress(&tracer, kNoSpan);  // unsampled request
+    EXPECT_EQ(tracer.begin("flstore.serve", "core", 0.0), kNoSpan);
+    tracer.instant("cache.hit", "core", 0.1);
+    EXPECT_EQ(tracer.begin_detached("prefetch.fetch", "core", 0.2), kNoSpan);
+  }
+  EXPECT_EQ(tracer.span_count(), 0U);
+  EXPECT_EQ(tracer.dropped(), 0U);  // suppression is not span-cap pressure
+}
+
+TEST(Tracer, DetachedSpansEscapeTheRequestInterval) {
+  Tracer tracer;
+  const auto root = tracer.begin("request", "serve", 0.0);
+  {
+    const Tracer::Scope scope(&tracer, root);
+    // Async work outlives the request: it must not claim to nest inside.
+    const auto prefetch = tracer.begin_detached("prefetch.fetch", "core", 0.5);
+    tracer.end(prefetch, 99.0);
+  }
+  tracer.end(root, 1.0);
+  for (const auto& span : tracer.spans()) {
+    if (span.name == "prefetch.fetch") {
+      EXPECT_EQ(span.parent, kNoSpan);
+    }
+  }
+}
+
+TEST(Tracer, SamplingGate) {
+  Tracer every_other(Tracer::Config{/*sample_every=*/2, /*max_spans=*/1024});
+  EXPECT_TRUE(every_other.should_sample(0));
+  EXPECT_FALSE(every_other.should_sample(1));
+  EXPECT_TRUE(every_other.should_sample(2));
+  Tracer off(Tracer::Config{/*sample_every=*/0, /*max_spans=*/1024});
+  EXPECT_FALSE(off.should_sample(0));
+}
+
+TEST(Tracer, SpanCapDropsAndCounts) {
+  Tracer tracer(Tracer::Config{/*sample_every=*/1, /*max_spans=*/2});
+  EXPECT_NE(tracer.begin("a", "t", 0.0), kNoSpan);
+  EXPECT_NE(tracer.begin("b", "t", 0.0), kNoSpan);
+  EXPECT_EQ(tracer.begin("c", "t", 0.0), kNoSpan);
+  EXPECT_EQ(tracer.span_count(), 2U);
+  EXPECT_EQ(tracer.dropped(), 1U);
+}
+
+TEST(Tracer, EndBeforeStartIsAnError) {
+  Tracer tracer;
+  const auto span = tracer.begin("a", "t", 1.0);
+  EXPECT_THROW(tracer.end(span, 0.5), InternalError);
+}
+
+TEST(Tracer, AnnotationsRideOnSpans) {
+  Tracer tracer;
+  const auto span = tracer.begin("backend.get", "backend", 0.0);
+  tracer.annotate(span, "object", "t0/model/3");
+  tracer.end(span, 0.1);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1U);
+  ASSERT_EQ(spans[0].args.size(), 1U);
+  EXPECT_EQ(spans[0].args[0].first, "object");
+  EXPECT_EQ(spans[0].args[0].second, "t0/model/3");
+}
+
+// --- export schema ---------------------------------------------------------
+
+/// Minimal JSON well-formedness scan: strings (with escapes) are opaque,
+/// braces/brackets must balance and never go negative. Not a full parser —
+/// exactly the structural guarantee the schema check needs.
+bool json_well_formed(const std::string& text) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+/// Build a realistic little trace: a request with queue/serve/backend
+/// children, an instant, and a detached prefetch.
+void fill_sample_trace(Tracer& tracer) {
+  const auto root = tracer.begin("request", "serve", 10.0, /*track=*/3);
+  const Tracer::Scope scope(&tracer, root);
+  const auto queue = tracer.begin("sched.queue", "serve", 10.0);
+  tracer.end(queue, 10.5);
+  const auto serve = tracer.begin("flstore.serve", "core", 10.5);
+  {
+    const Tracer::Scope serve_scope(&tracer, serve);
+    tracer.instant("cache.miss", "core", 10.6);
+    const auto get = tracer.begin("backend.get", "backend", 10.6);
+    tracer.annotate(get, "object", "t0/\"quoted\"/name");
+    tracer.end(get, 11.0);
+  }
+  tracer.end(serve, 11.2);
+  const auto prefetch = tracer.begin_detached("prefetch.fetch", "core", 11.0);
+  tracer.end(prefetch, 12.0);
+  tracer.end(root, 11.2);
+}
+
+TEST(TraceSchema, ExportIsWellFormedJson) {
+  Tracer tracer;
+  fill_sample_trace(tracer);
+  const auto json = tracer.chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // complete spans
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);  // instants
+  // Annotation values must be escaped, never raw.
+  EXPECT_EQ(json.find("\"quoted\"/name"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\"/name"), std::string::npos);
+}
+
+TEST(TraceSchema, SpansNestProperlyWithNoNegativeDurations) {
+  Tracer tracer;
+  fill_sample_trace(tracer);
+  const auto spans = tracer.spans();
+  ASSERT_FALSE(spans.empty());
+  std::map<SpanId, TraceSpan> by_id;
+  for (const auto& span : spans) by_id[span.id] = span;
+  for (const auto& span : spans) {
+    EXPECT_GE(span.duration_s(), 0.0) << span.name;
+    if (span.instant) {
+      EXPECT_DOUBLE_EQ(span.duration_s(), 0.0) << span.name;
+    }
+    if (span.parent == kNoSpan) continue;
+    // Every parent id resolves, and the child interval sits inside it.
+    ASSERT_TRUE(by_id.count(span.parent)) << span.name;
+    const auto& parent = by_id.at(span.parent);
+    EXPECT_GE(span.start_s, parent.start_s - 1e-9) << span.name;
+    EXPECT_LE(span.end_s, parent.end_s + 1e-9) << span.name;
+  }
+}
+
+TEST(TraceSchema, SnapshotIsSortedByStartTime) {
+  Tracer tracer;
+  fill_sample_trace(tracer);
+  const auto spans = tracer.spans();
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_s, spans[i].start_s);
+  }
+}
+
+TEST(Tracer, NullSafeHelpersNoOp) {
+  EXPECT_EQ(begin_span(nullptr, "a", "t", 0.0), kNoSpan);
+  EXPECT_EQ(begin_detached_span(nullptr, "a", "t", 0.0), kNoSpan);
+  end_span(nullptr, kNoSpan, 1.0);             // must not crash
+  annotate_span(nullptr, kNoSpan, "k", "v");   // must not crash
+  instant_span(nullptr, "a", "t", 0.0);        // must not crash
+}
+
+}  // namespace
+}  // namespace flstore::obs

@@ -1,0 +1,88 @@
+// ServiceReport aggregate metrics, with the zero-completion regression the
+// telemetry plane depends on: an all-rejected (or empty) run must report
+// zeros from every ratio metric — never NaN, never a SampleSet throw.
+#include "serve/service_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace flstore::serve {
+namespace {
+
+ServiceRecord completed(double arrival_s, double queue_s, double comm_s,
+                        std::size_t hits, std::size_t misses,
+                        fed::WorkloadType type = fed::WorkloadType::kInference) {
+  ServiceRecord rec;
+  rec.request.type = type;
+  rec.request.arrival_s = arrival_s;
+  rec.start_s = arrival_s + queue_s;
+  rec.queue_s = queue_s;
+  rec.comm_s = comm_s;
+  rec.hits = hits;
+  rec.misses = misses;
+  rec.cost_usd = 0.001;
+  return rec;
+}
+
+ServiceRecord shed(double arrival_s) {
+  ServiceRecord rec;
+  rec.request.arrival_s = arrival_s;
+  rec.rejected = true;
+  return rec;
+}
+
+TEST(ServiceReport, AllRejectedTraceReportsZeros) {
+  ServiceReport report;
+  for (int i = 0; i < 5; ++i) report.records.push_back(shed(i));
+  EXPECT_EQ(report.completed(), 0U);
+  EXPECT_EQ(report.rejected(), 5U);
+  EXPECT_DOUBLE_EQ(report.throughput_qps(), 0.0);
+  EXPECT_DOUBLE_EQ(report.cost_per_1k_usd(), 0.0);
+  EXPECT_DOUBLE_EQ(report.makespan_s(), 0.0);
+  EXPECT_DOUBLE_EQ(report.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.latency_percentile_s(99.0), 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_queue_wait_s(), 0.0);
+}
+
+TEST(ServiceReport, EmptyReportReportsZeros) {
+  const ServiceReport report;
+  EXPECT_DOUBLE_EQ(report.throughput_qps(), 0.0);
+  EXPECT_DOUBLE_EQ(report.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(report.latency_percentile_s(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_queue_wait_s(), 0.0);
+}
+
+TEST(ServiceReport, GuardedHelpersMatchSampleSetWhenNonEmpty) {
+  ServiceReport report;
+  report.records.push_back(completed(0.0, 1.0, 2.0, 3, 1));
+  report.records.push_back(completed(10.0, 3.0, 2.0, 1, 3));
+  report.records.push_back(shed(20.0));
+  EXPECT_DOUBLE_EQ(report.latency_percentile_s(50.0),
+                   report.latencies().percentile(50.0));
+  EXPECT_DOUBLE_EQ(report.mean_queue_wait_s(),
+                   report.queue_waits().mean());
+  EXPECT_DOUBLE_EQ(report.hit_rate(), 0.5);  // 4 hits / 8 accesses
+}
+
+TEST(ServiceReport, HitRateFiltersbyClass) {
+  ServiceReport report;
+  report.records.push_back(
+      completed(0.0, 0.0, 1.0, 4, 0, fed::WorkloadType::kInference));  // P1
+  report.records.push_back(
+      completed(1.0, 0.0, 1.0, 0, 4, fed::WorkloadType::kClustering));  // P2
+  EXPECT_DOUBLE_EQ(report.hit_rate(fed::PolicyClass::kP1), 1.0);
+  EXPECT_DOUBLE_EQ(report.hit_rate(fed::PolicyClass::kP2), 0.0);
+  EXPECT_DOUBLE_EQ(report.hit_rate(fed::PolicyClass::kP3), 0.0);  // no data
+  EXPECT_DOUBLE_EQ(report.hit_rate(), 0.5);
+}
+
+TEST(ServiceReport, RejectedRecordsStayOutOfLatencyPools) {
+  ServiceReport report;
+  report.records.push_back(completed(0.0, 5.0, 1.0, 1, 0));
+  report.records.push_back(shed(1.0));
+  EXPECT_EQ(report.latencies().size(), 1U);
+  EXPECT_EQ(report.queue_waits().size(), 1U);
+  EXPECT_DOUBLE_EQ(report.mean_queue_wait_s(), 5.0);
+}
+
+}  // namespace
+}  // namespace flstore::serve

@@ -313,5 +313,40 @@ TEST(ShardedStore, ClassPartitionsPlumbThroughAndStayBounded) {
   }
 }
 
+// The telemetry plane is pure bookkeeping: with the tracer, metrics, and
+// SLO monitor all live, per-request results stay bit-identical to the
+// uninstrumented plane — across pool sizes, like every other mode.
+TEST(ShardedStore, TelemetryIsPureBookkeeping) {
+  Plane plain(plane_config(0), /*tenants=*/2, /*shards_each=*/2);
+  obs::Telemetry telemetry;
+  auto cfg = plane_config(4);
+  cfg.telemetry = &telemetry;
+  Plane traced(cfg, /*tenants=*/2, /*shards_each=*/2);
+  const auto trace = open_loop_trace(open_loop(0.5, 400.0), plain.mix());
+  const auto a = plain.store->serve_open_loop(trace, 30.0);
+  const auto b = traced.store->serve_open_loop(trace, 30.0);
+  expect_identical(a, b);
+
+  // And the books balance: request counters sum to the completed count,
+  // the per-class latency histograms hold every completed request, and the
+  // run published its SLO/burn-rate gauges.
+  std::uint64_t histogrammed = 0;
+  for (const auto c : {fed::PolicyClass::kP1, fed::PolicyClass::kP2,
+                       fed::PolicyClass::kP3, fed::PolicyClass::kP4}) {
+    histogrammed += telemetry.metrics
+                        .histogram("serve_request_latency_s",
+                                   {{obs::kLabelClass, fed::to_string(c)}})
+                        .count();
+  }
+  EXPECT_EQ(histogrammed, b.completed());
+  EXPECT_GT(telemetry.metrics.cardinality("slo_burn_rate"), 0U);
+  // Every sampled request opened a root span.
+  std::size_t roots = 0;
+  for (const auto& span : telemetry.tracer.spans()) {
+    if (span.name == "request") ++roots;
+  }
+  EXPECT_EQ(roots, b.completed());
+}
+
 }  // namespace
 }  // namespace flstore::serve
