@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_debugging_session.dir/examples/debugging_session.cpp.o"
+  "CMakeFiles/example_debugging_session.dir/examples/debugging_session.cpp.o.d"
+  "example_debugging_session"
+  "example_debugging_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_debugging_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

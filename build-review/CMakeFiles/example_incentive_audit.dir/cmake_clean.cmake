@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incentive_audit.dir/examples/incentive_audit.cpp.o"
+  "CMakeFiles/example_incentive_audit.dir/examples/incentive_audit.cpp.o.d"
+  "example_incentive_audit"
+  "example_incentive_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incentive_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

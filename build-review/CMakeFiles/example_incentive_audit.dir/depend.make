@@ -1,0 +1,2 @@
+# Empty dependencies file for example_incentive_audit.
+# This may be replaced when dependencies are built.

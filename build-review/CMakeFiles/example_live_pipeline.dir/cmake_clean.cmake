@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_pipeline.dir/examples/live_pipeline.cpp.o"
+  "CMakeFiles/example_live_pipeline.dir/examples/live_pipeline.cpp.o.d"
+  "example_live_pipeline"
+  "example_live_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_live_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_tenant_hosting.dir/examples/multi_tenant_hosting.cpp.o"
+  "CMakeFiles/example_multi_tenant_hosting.dir/examples/multi_tenant_hosting.cpp.o.d"
+  "example_multi_tenant_hosting"
+  "example_multi_tenant_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_tenant_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

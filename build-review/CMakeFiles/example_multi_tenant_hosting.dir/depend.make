@@ -1,0 +1,2 @@
+# Empty dependencies file for example_multi_tenant_hosting.
+# This may be replaced when dependencies are built.

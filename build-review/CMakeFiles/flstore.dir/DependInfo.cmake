@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/backup_writer.cpp" "CMakeFiles/flstore.dir/src/backend/backup_writer.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/backup_writer.cpp.o.d"
+  "/root/repo/src/backend/cloud_cache_backend.cpp" "CMakeFiles/flstore.dir/src/backend/cloud_cache_backend.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/cloud_cache_backend.cpp.o.d"
+  "/root/repo/src/backend/flush_scheduler.cpp" "CMakeFiles/flstore.dir/src/backend/flush_scheduler.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/flush_scheduler.cpp.o.d"
+  "/root/repo/src/backend/local_ssd_backend.cpp" "CMakeFiles/flstore.dir/src/backend/local_ssd_backend.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/local_ssd_backend.cpp.o.d"
+  "/root/repo/src/backend/object_store_backend.cpp" "CMakeFiles/flstore.dir/src/backend/object_store_backend.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/object_store_backend.cpp.o.d"
+  "/root/repo/src/backend/replicated_cold_store.cpp" "CMakeFiles/flstore.dir/src/backend/replicated_cold_store.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/replicated_cold_store.cpp.o.d"
+  "/root/repo/src/backend/storage_backend.cpp" "CMakeFiles/flstore.dir/src/backend/storage_backend.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/storage_backend.cpp.o.d"
+  "/root/repo/src/backend/tiered_cold_store.cpp" "CMakeFiles/flstore.dir/src/backend/tiered_cold_store.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/backend/tiered_cold_store.cpp.o.d"
+  "/root/repo/src/baselines/aggregator_baseline.cpp" "CMakeFiles/flstore.dir/src/baselines/aggregator_baseline.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/baselines/aggregator_baseline.cpp.o.d"
+  "/root/repo/src/cloud/cost_meter.cpp" "CMakeFiles/flstore.dir/src/cloud/cost_meter.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/cloud/cost_meter.cpp.o.d"
+  "/root/repo/src/cloud/memcache.cpp" "CMakeFiles/flstore.dir/src/cloud/memcache.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/cloud/memcache.cpp.o.d"
+  "/root/repo/src/cloud/object_store.cpp" "CMakeFiles/flstore.dir/src/cloud/object_store.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/cloud/object_store.cpp.o.d"
+  "/root/repo/src/cloud/pricing.cpp" "CMakeFiles/flstore.dir/src/cloud/pricing.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/cloud/pricing.cpp.o.d"
+  "/root/repo/src/cloud/vm_instance.cpp" "CMakeFiles/flstore.dir/src/cloud/vm_instance.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/cloud/vm_instance.cpp.o.d"
+  "/root/repo/src/common/event_queue.cpp" "CMakeFiles/flstore.dir/src/common/event_queue.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/common/event_queue.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "CMakeFiles/flstore.dir/src/common/log.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/flstore.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/flstore.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/flstore.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/adaptive_policy.cpp" "CMakeFiles/flstore.dir/src/core/adaptive_policy.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/adaptive_policy.cpp.o.d"
+  "/root/repo/src/core/cache_engine.cpp" "CMakeFiles/flstore.dir/src/core/cache_engine.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/cache_engine.cpp.o.d"
+  "/root/repo/src/core/capacity_planner.cpp" "CMakeFiles/flstore.dir/src/core/capacity_planner.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/capacity_planner.cpp.o.d"
+  "/root/repo/src/core/flstore.cpp" "CMakeFiles/flstore.dir/src/core/flstore.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/flstore.cpp.o.d"
+  "/root/repo/src/core/multi_tenant.cpp" "CMakeFiles/flstore.dir/src/core/multi_tenant.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/multi_tenant.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "CMakeFiles/flstore.dir/src/core/policy.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/policy.cpp.o.d"
+  "/root/repo/src/core/request_tracker.cpp" "CMakeFiles/flstore.dir/src/core/request_tracker.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/request_tracker.cpp.o.d"
+  "/root/repo/src/core/serverless_cache.cpp" "CMakeFiles/flstore.dir/src/core/serverless_cache.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/core/serverless_cache.cpp.o.d"
+  "/root/repo/src/fed/aggregator.cpp" "CMakeFiles/flstore.dir/src/fed/aggregator.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/fed/aggregator.cpp.o.d"
+  "/root/repo/src/fed/client.cpp" "CMakeFiles/flstore.dir/src/fed/client.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/fed/client.cpp.o.d"
+  "/root/repo/src/fed/codec.cpp" "CMakeFiles/flstore.dir/src/fed/codec.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/fed/codec.cpp.o.d"
+  "/root/repo/src/fed/directory.cpp" "CMakeFiles/flstore.dir/src/fed/directory.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/fed/directory.cpp.o.d"
+  "/root/repo/src/fed/fl_job.cpp" "CMakeFiles/flstore.dir/src/fed/fl_job.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/fed/fl_job.cpp.o.d"
+  "/root/repo/src/fed/trace.cpp" "CMakeFiles/flstore.dir/src/fed/trace.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/fed/trace.cpp.o.d"
+  "/root/repo/src/models/model_zoo.cpp" "CMakeFiles/flstore.dir/src/models/model_zoo.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/models/model_zoo.cpp.o.d"
+  "/root/repo/src/obs/instrumented_backend.cpp" "CMakeFiles/flstore.dir/src/obs/instrumented_backend.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/obs/instrumented_backend.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "CMakeFiles/flstore.dir/src/obs/metrics.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/slo_monitor.cpp" "CMakeFiles/flstore.dir/src/obs/slo_monitor.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/obs/slo_monitor.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "CMakeFiles/flstore.dir/src/obs/trace.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/obs/trace.cpp.o.d"
+  "/root/repo/src/serve/coalescer.cpp" "CMakeFiles/flstore.dir/src/serve/coalescer.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serve/coalescer.cpp.o.d"
+  "/root/repo/src/serve/load_generator.cpp" "CMakeFiles/flstore.dir/src/serve/load_generator.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serve/load_generator.cpp.o.d"
+  "/root/repo/src/serve/scheduler.cpp" "CMakeFiles/flstore.dir/src/serve/scheduler.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serve/scheduler.cpp.o.d"
+  "/root/repo/src/serve/service_metrics.cpp" "CMakeFiles/flstore.dir/src/serve/service_metrics.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serve/service_metrics.cpp.o.d"
+  "/root/repo/src/serve/sharded_store.cpp" "CMakeFiles/flstore.dir/src/serve/sharded_store.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serve/sharded_store.cpp.o.d"
+  "/root/repo/src/serve/thread_pool.cpp" "CMakeFiles/flstore.dir/src/serve/thread_pool.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serve/thread_pool.cpp.o.d"
+  "/root/repo/src/serverless/fault_injector.cpp" "CMakeFiles/flstore.dir/src/serverless/fault_injector.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serverless/fault_injector.cpp.o.d"
+  "/root/repo/src/serverless/function_instance.cpp" "CMakeFiles/flstore.dir/src/serverless/function_instance.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serverless/function_instance.cpp.o.d"
+  "/root/repo/src/serverless/function_runtime.cpp" "CMakeFiles/flstore.dir/src/serverless/function_runtime.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/serverless/function_runtime.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "CMakeFiles/flstore.dir/src/sim/report.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/sim/report.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "CMakeFiles/flstore.dir/src/sim/runner.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/flstore.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/training_model.cpp" "CMakeFiles/flstore.dir/src/sim/training_model.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/sim/training_model.cpp.o.d"
+  "/root/repo/src/simnet/network.cpp" "CMakeFiles/flstore.dir/src/simnet/network.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/simnet/network.cpp.o.d"
+  "/root/repo/src/tensor/kmeans.cpp" "CMakeFiles/flstore.dir/src/tensor/kmeans.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/tensor/kmeans.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/flstore.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/serialize.cpp" "CMakeFiles/flstore.dir/src/tensor/serialize.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/tensor/serialize.cpp.o.d"
+  "/root/repo/src/workloads/p1_inference.cpp" "CMakeFiles/flstore.dir/src/workloads/p1_inference.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/workloads/p1_inference.cpp.o.d"
+  "/root/repo/src/workloads/p2_debug_incentives.cpp" "CMakeFiles/flstore.dir/src/workloads/p2_debug_incentives.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/workloads/p2_debug_incentives.cpp.o.d"
+  "/root/repo/src/workloads/p2_round_analytics.cpp" "CMakeFiles/flstore.dir/src/workloads/p2_round_analytics.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/workloads/p2_round_analytics.cpp.o.d"
+  "/root/repo/src/workloads/p3_client_tracking.cpp" "CMakeFiles/flstore.dir/src/workloads/p3_client_tracking.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/workloads/p3_client_tracking.cpp.o.d"
+  "/root/repo/src/workloads/p4_metadata.cpp" "CMakeFiles/flstore.dir/src/workloads/p4_metadata.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/workloads/p4_metadata.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "CMakeFiles/flstore.dir/src/workloads/workload.cpp.o" "gcc" "CMakeFiles/flstore.dir/src/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

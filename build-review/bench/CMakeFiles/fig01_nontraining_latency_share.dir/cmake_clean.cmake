@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_nontraining_latency_share.dir/fig01_nontraining_latency_share.cpp.o"
+  "CMakeFiles/fig01_nontraining_latency_share.dir/fig01_nontraining_latency_share.cpp.o.d"
+  "fig01_nontraining_latency_share"
+  "fig01_nontraining_latency_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_nontraining_latency_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_nontraining_latency_share.
+# This may be replaced when dependencies are built.

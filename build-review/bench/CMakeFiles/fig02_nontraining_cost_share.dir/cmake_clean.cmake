@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_nontraining_cost_share.dir/fig02_nontraining_cost_share.cpp.o"
+  "CMakeFiles/fig02_nontraining_cost_share.dir/fig02_nontraining_cost_share.cpp.o.d"
+  "fig02_nontraining_cost_share"
+  "fig02_nontraining_cost_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_nontraining_cost_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

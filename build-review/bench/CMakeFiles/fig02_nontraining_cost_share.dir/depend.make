@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_nontraining_cost_share.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_comm_vs_comp.dir/fig04_comm_vs_comp.cpp.o"
+  "CMakeFiles/fig04_comm_vs_comp.dir/fig04_comm_vs_comp.cpp.o.d"
+  "fig04_comm_vs_comp"
+  "fig04_comm_vs_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_comm_vs_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

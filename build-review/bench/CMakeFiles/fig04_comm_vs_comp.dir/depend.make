@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_comm_vs_comp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_latency_vs_objstore.dir/fig07_latency_vs_objstore.cpp.o"
+  "CMakeFiles/fig07_latency_vs_objstore.dir/fig07_latency_vs_objstore.cpp.o.d"
+  "fig07_latency_vs_objstore"
+  "fig07_latency_vs_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_latency_vs_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

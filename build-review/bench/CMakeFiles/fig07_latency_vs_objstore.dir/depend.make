@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_latency_vs_objstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cost_vs_objstore.dir/fig08_cost_vs_objstore.cpp.o"
+  "CMakeFiles/fig08_cost_vs_objstore.dir/fig08_cost_vs_objstore.cpp.o.d"
+  "fig08_cost_vs_objstore"
+  "fig08_cost_vs_objstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cost_vs_objstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_cost_vs_objstore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_vs_cacheagg.dir/fig09_vs_cacheagg.cpp.o"
+  "CMakeFiles/fig09_vs_cacheagg.dir/fig09_vs_cacheagg.cpp.o.d"
+  "fig09_vs_cacheagg"
+  "fig09_vs_cacheagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_vs_cacheagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_vs_cacheagg.
+# This may be replaced when dependencies are built.

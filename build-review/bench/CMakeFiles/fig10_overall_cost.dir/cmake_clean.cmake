@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overall_cost.dir/fig10_overall_cost.cpp.o"
+  "CMakeFiles/fig10_overall_cost.dir/fig10_overall_cost.cpp.o.d"
+  "fig10_overall_cost"
+  "fig10_overall_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overall_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_policy_comparison.dir/fig11_policy_comparison.cpp.o"
+  "CMakeFiles/fig11_policy_comparison.dir/fig11_policy_comparison.cpp.o.d"
+  "fig11_policy_comparison"
+  "fig11_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

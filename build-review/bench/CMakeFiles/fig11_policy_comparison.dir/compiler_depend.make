@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_policy_comparison.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_scalability.dir/fig12_scalability.cpp.o"
+  "CMakeFiles/fig12_scalability.dir/fig12_scalability.cpp.o.d"
+  "fig12_scalability"
+  "fig12_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

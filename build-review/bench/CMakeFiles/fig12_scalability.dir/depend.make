@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_scalability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_fault_tolerance.dir/fig13_fault_tolerance.cpp.o"
+  "CMakeFiles/fig13_fault_tolerance.dir/fig13_fault_tolerance.cpp.o.d"
+  "fig13_fault_tolerance"
+  "fig13_fault_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

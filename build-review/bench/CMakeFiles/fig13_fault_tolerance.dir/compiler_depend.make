@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_fault_tolerance.
+# This may be replaced when dependencies are built.

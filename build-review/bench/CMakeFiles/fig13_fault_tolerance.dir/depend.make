@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_fault_tolerance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_replication_vs_refetch.dir/fig14_replication_vs_refetch.cpp.o"
+  "CMakeFiles/fig14_replication_vs_refetch.dir/fig14_replication_vs_refetch.cpp.o.d"
+  "fig14_replication_vs_refetch"
+  "fig14_replication_vs_refetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_replication_vs_refetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

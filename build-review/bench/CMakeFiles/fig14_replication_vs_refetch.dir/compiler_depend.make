@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_replication_vs_refetch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_time_breakup.dir/fig15_time_breakup.cpp.o"
+  "CMakeFiles/fig15_time_breakup.dir/fig15_time_breakup.cpp.o.d"
+  "fig15_time_breakup"
+  "fig15_time_breakup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_time_breakup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

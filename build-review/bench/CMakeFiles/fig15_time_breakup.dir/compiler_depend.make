@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_time_breakup.
+# This may be replaced when dependencies are built.

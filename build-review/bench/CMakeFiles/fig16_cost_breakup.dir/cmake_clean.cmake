@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cost_breakup.dir/fig16_cost_breakup.cpp.o"
+  "CMakeFiles/fig16_cost_breakup.dir/fig16_cost_breakup.cpp.o.d"
+  "fig16_cost_breakup"
+  "fig16_cost_breakup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cost_breakup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_cost_breakup.
+# This may be replaced when dependencies are built.

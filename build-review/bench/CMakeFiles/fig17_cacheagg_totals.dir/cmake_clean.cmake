@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cacheagg_totals.dir/fig17_cacheagg_totals.cpp.o"
+  "CMakeFiles/fig17_cacheagg_totals.dir/fig17_cacheagg_totals.cpp.o.d"
+  "fig17_cacheagg_totals"
+  "fig17_cacheagg_totals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cacheagg_totals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_cacheagg_totals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_cacheagg_totals.
+# This may be replaced when dependencies are built.

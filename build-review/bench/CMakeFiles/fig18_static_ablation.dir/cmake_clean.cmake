@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_static_ablation.dir/fig18_static_ablation.cpp.o"
+  "CMakeFiles/fig18_static_ablation.dir/fig18_static_ablation.cpp.o.d"
+  "fig18_static_ablation"
+  "fig18_static_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_static_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_model_footprint.dir/fig19_model_footprint.cpp.o"
+  "CMakeFiles/fig19_model_footprint.dir/fig19_model_footprint.cpp.o.d"
+  "fig19_model_footprint"
+  "fig19_model_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_model_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

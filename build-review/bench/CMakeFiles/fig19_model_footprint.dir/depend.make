@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_model_footprint.
+# This may be replaced when dependencies are built.

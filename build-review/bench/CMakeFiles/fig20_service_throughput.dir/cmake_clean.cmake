@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_service_throughput.dir/fig20_service_throughput.cpp.o"
+  "CMakeFiles/fig20_service_throughput.dir/fig20_service_throughput.cpp.o.d"
+  "fig20_service_throughput"
+  "fig20_service_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_service_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

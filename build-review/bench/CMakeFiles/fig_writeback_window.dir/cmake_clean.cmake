@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_writeback_window.dir/fig_writeback_window.cpp.o"
+  "CMakeFiles/fig_writeback_window.dir/fig_writeback_window.cpp.o.d"
+  "fig_writeback_window"
+  "fig_writeback_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_writeback_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_writeback_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_hit_rates.dir/tab02_hit_rates.cpp.o"
+  "CMakeFiles/tab02_hit_rates.dir/tab02_hit_rates.cpp.o.d"
+  "tab02_hit_rates"
+  "tab02_hit_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_hit_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab02_hit_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_adaptive_policy.dir/tab_adaptive_policy.cpp.o"
+  "CMakeFiles/tab_adaptive_policy.dir/tab_adaptive_policy.cpp.o.d"
+  "tab_adaptive_policy"
+  "tab_adaptive_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_adaptive_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_adaptive_policy.
+# This may be replaced when dependencies are built.

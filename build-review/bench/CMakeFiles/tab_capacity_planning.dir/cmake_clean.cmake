@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_capacity_planning.dir/tab_capacity_planning.cpp.o"
+  "CMakeFiles/tab_capacity_planning.dir/tab_capacity_planning.cpp.o.d"
+  "tab_capacity_planning"
+  "tab_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

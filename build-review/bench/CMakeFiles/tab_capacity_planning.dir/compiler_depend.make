@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_capacity_planning.
+# This may be replaced when dependencies are built.

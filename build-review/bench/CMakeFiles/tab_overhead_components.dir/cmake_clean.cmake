@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_overhead_components.dir/tab_overhead_components.cpp.o"
+  "CMakeFiles/tab_overhead_components.dir/tab_overhead_components.cpp.o.d"
+  "tab_overhead_components"
+  "tab_overhead_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_overhead_components.
+# This may be replaced when dependencies are built.

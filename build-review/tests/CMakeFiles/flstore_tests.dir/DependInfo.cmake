@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/backend/backup_writer_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/backup_writer_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/backup_writer_test.cpp.o.d"
+  "/root/repo/tests/backend/flstore_backend_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/flstore_backend_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/flstore_backend_test.cpp.o.d"
+  "/root/repo/tests/backend/flush_scheduler_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/flush_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/flush_scheduler_test.cpp.o.d"
+  "/root/repo/tests/backend/replicated_cold_store_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/replicated_cold_store_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/replicated_cold_store_test.cpp.o.d"
+  "/root/repo/tests/backend/replicated_property_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/replicated_property_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/replicated_property_test.cpp.o.d"
+  "/root/repo/tests/backend/storage_backend_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/storage_backend_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/storage_backend_test.cpp.o.d"
+  "/root/repo/tests/backend/throttle_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/throttle_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/throttle_test.cpp.o.d"
+  "/root/repo/tests/backend/tiered_cold_store_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/tiered_cold_store_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/tiered_cold_store_test.cpp.o.d"
+  "/root/repo/tests/backend/tiered_property_test.cpp" "tests/CMakeFiles/flstore_tests.dir/backend/tiered_property_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/backend/tiered_property_test.cpp.o.d"
+  "/root/repo/tests/baselines/baseline_test.cpp" "tests/CMakeFiles/flstore_tests.dir/baselines/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/baselines/baseline_test.cpp.o.d"
+  "/root/repo/tests/cloud/cost_meter_test.cpp" "tests/CMakeFiles/flstore_tests.dir/cloud/cost_meter_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/cloud/cost_meter_test.cpp.o.d"
+  "/root/repo/tests/cloud/memcache_test.cpp" "tests/CMakeFiles/flstore_tests.dir/cloud/memcache_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/cloud/memcache_test.cpp.o.d"
+  "/root/repo/tests/cloud/object_store_test.cpp" "tests/CMakeFiles/flstore_tests.dir/cloud/object_store_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/cloud/object_store_test.cpp.o.d"
+  "/root/repo/tests/cloud/pricing_test.cpp" "tests/CMakeFiles/flstore_tests.dir/cloud/pricing_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/cloud/pricing_test.cpp.o.d"
+  "/root/repo/tests/common/event_queue_test.cpp" "tests/CMakeFiles/flstore_tests.dir/common/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/common/event_queue_test.cpp.o.d"
+  "/root/repo/tests/common/ids_test.cpp" "tests/CMakeFiles/flstore_tests.dir/common/ids_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/common/ids_test.cpp.o.d"
+  "/root/repo/tests/common/log_test.cpp" "tests/CMakeFiles/flstore_tests.dir/common/log_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/common/log_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/flstore_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/flstore_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/flstore_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/core/cache_engine_property_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/cache_engine_property_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/cache_engine_property_test.cpp.o.d"
+  "/root/repo/tests/core/cache_engine_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/cache_engine_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/cache_engine_test.cpp.o.d"
+  "/root/repo/tests/core/capacity_planner_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/capacity_planner_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/capacity_planner_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/flstore_modes_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/flstore_modes_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/flstore_modes_test.cpp.o.d"
+  "/root/repo/tests/core/flstore_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/flstore_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/flstore_test.cpp.o.d"
+  "/root/repo/tests/core/policy_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/policy_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/policy_test.cpp.o.d"
+  "/root/repo/tests/core/request_tracker_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/request_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/request_tracker_test.cpp.o.d"
+  "/root/repo/tests/core/serverless_cache_test.cpp" "tests/CMakeFiles/flstore_tests.dir/core/serverless_cache_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/core/serverless_cache_test.cpp.o.d"
+  "/root/repo/tests/fed/aggregator_test.cpp" "tests/CMakeFiles/flstore_tests.dir/fed/aggregator_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/fed/aggregator_test.cpp.o.d"
+  "/root/repo/tests/fed/client_test.cpp" "tests/CMakeFiles/flstore_tests.dir/fed/client_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/fed/client_test.cpp.o.d"
+  "/root/repo/tests/fed/codec_test.cpp" "tests/CMakeFiles/flstore_tests.dir/fed/codec_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/fed/codec_test.cpp.o.d"
+  "/root/repo/tests/fed/fl_job_test.cpp" "tests/CMakeFiles/flstore_tests.dir/fed/fl_job_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/fed/fl_job_test.cpp.o.d"
+  "/root/repo/tests/fed/trace_test.cpp" "tests/CMakeFiles/flstore_tests.dir/fed/trace_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/fed/trace_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/flstore_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/models/model_zoo_test.cpp" "tests/CMakeFiles/flstore_tests.dir/models/model_zoo_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/models/model_zoo_test.cpp.o.d"
+  "/root/repo/tests/obs/instrumented_backend_test.cpp" "tests/CMakeFiles/flstore_tests.dir/obs/instrumented_backend_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/obs/instrumented_backend_test.cpp.o.d"
+  "/root/repo/tests/obs/metrics_test.cpp" "tests/CMakeFiles/flstore_tests.dir/obs/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/obs/metrics_test.cpp.o.d"
+  "/root/repo/tests/obs/slo_monitor_test.cpp" "tests/CMakeFiles/flstore_tests.dir/obs/slo_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/obs/slo_monitor_test.cpp.o.d"
+  "/root/repo/tests/obs/trace_test.cpp" "tests/CMakeFiles/flstore_tests.dir/obs/trace_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/obs/trace_test.cpp.o.d"
+  "/root/repo/tests/serve/coalescer_test.cpp" "tests/CMakeFiles/flstore_tests.dir/serve/coalescer_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/serve/coalescer_test.cpp.o.d"
+  "/root/repo/tests/serve/scheduler_test.cpp" "tests/CMakeFiles/flstore_tests.dir/serve/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/serve/scheduler_test.cpp.o.d"
+  "/root/repo/tests/serve/service_metrics_test.cpp" "tests/CMakeFiles/flstore_tests.dir/serve/service_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/serve/service_metrics_test.cpp.o.d"
+  "/root/repo/tests/serve/sharded_store_test.cpp" "tests/CMakeFiles/flstore_tests.dir/serve/sharded_store_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/serve/sharded_store_test.cpp.o.d"
+  "/root/repo/tests/serverless/fault_injector_test.cpp" "tests/CMakeFiles/flstore_tests.dir/serverless/fault_injector_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/serverless/fault_injector_test.cpp.o.d"
+  "/root/repo/tests/serverless/function_runtime_test.cpp" "tests/CMakeFiles/flstore_tests.dir/serverless/function_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/serverless/function_runtime_test.cpp.o.d"
+  "/root/repo/tests/sim/runner_test.cpp" "tests/CMakeFiles/flstore_tests.dir/sim/runner_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/sim/runner_test.cpp.o.d"
+  "/root/repo/tests/sim/training_model_test.cpp" "tests/CMakeFiles/flstore_tests.dir/sim/training_model_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/sim/training_model_test.cpp.o.d"
+  "/root/repo/tests/simnet/network_test.cpp" "tests/CMakeFiles/flstore_tests.dir/simnet/network_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/simnet/network_test.cpp.o.d"
+  "/root/repo/tests/tensor/kmeans_test.cpp" "tests/CMakeFiles/flstore_tests.dir/tensor/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/tensor/kmeans_test.cpp.o.d"
+  "/root/repo/tests/tensor/ops_test.cpp" "tests/CMakeFiles/flstore_tests.dir/tensor/ops_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/tensor/ops_test.cpp.o.d"
+  "/root/repo/tests/tensor/serialize_test.cpp" "tests/CMakeFiles/flstore_tests.dir/tensor/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/tensor/serialize_test.cpp.o.d"
+  "/root/repo/tests/workloads/workloads_test.cpp" "tests/CMakeFiles/flstore_tests.dir/workloads/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/flstore_tests.dir/workloads/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/flstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
