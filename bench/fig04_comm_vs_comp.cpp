@@ -11,7 +11,9 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig04");
   bench::banner("Figure 4",
                 "Comm vs comp latency on a cloud function + object store");
 
@@ -30,7 +32,8 @@ int main() {
   for (const auto& model : models) {
     fed::FLJobConfig job_cfg;
     job_cfg.model = model;
-    job_cfg.rounds = 30;
+    job_cfg.rounds =
+        std::max<RoundId>(1, static_cast<RoundId>(30 * args.scale));
     fed::FLJob job(job_cfg);
     ObjectStore store(sim::objstore_link(), PricingCatalog::aws());
     const auto fn_profile = core::function_runtime_config(job.model()).profile;
@@ -61,11 +64,12 @@ int main() {
   std::printf("%s", table.to_string().c_str());
 
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("average communication latency", 89.1,
-                      comm_sum / static_cast<double>(n), "s");
-  sim::print_headline("average computation latency", 2.8,
-                      comp_sum / static_cast<double>(n), "s");
-  sim::print_headline("communication / computation ratio", 31.0,
-                      comm_sum / comp_sum, "x");
+  report.headline("average communication latency", 89.1,
+                  comm_sum / static_cast<double>(n), "s");
+  report.headline("average computation latency", 2.8,
+                  comp_sum / static_cast<double>(n), "s");
+  report.headline("communication / computation ratio", 31.0,
+                  comm_sum / comp_sum, "x");
+  report.write(args);
   return 0;
 }

@@ -10,11 +10,13 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig09");
   bench::banner("Figure 9",
                 "FLStore vs Cache-Agg per-request latency and cost, 50 h");
 
-  auto cfg = bench::paper_scenario("efficientnet_v2_s");
+  auto cfg = bench::paper_scenario("efficientnet_v2_s", args.scale);
   cfg.workloads = fed::cacheagg_workloads();
   sim::Scenario sc(cfg);
   const auto trace = sc.trace();
@@ -60,13 +62,13 @@ int main() {
   std::printf("%s", table.to_string().c_str());
 
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("avg latency reduction vs Cache-Agg", 64.66,
-                      percent_reduction(ca_lat / n, fl_lat / n), "%");
-  sim::print_headline("max latency reduction vs Cache-Agg", 84.41,
-                      max_lat_red, "%");
-  sim::print_headline("avg cost reduction vs Cache-Agg", 98.83,
-                      percent_reduction(ca_cost / n, fl_cost / n), "%");
-  sim::print_headline("max cost reduction vs Cache-Agg", 99.65, max_cost_red,
-                      "%");
+  report.headline("avg latency reduction vs Cache-Agg", 64.66,
+                  percent_reduction(ca_lat / n, fl_lat / n), "%");
+  report.headline("max latency reduction vs Cache-Agg", 84.41, max_lat_red,
+                  "%");
+  report.headline("avg cost reduction vs Cache-Agg", 98.83,
+                  percent_reduction(ca_cost / n, fl_cost / n), "%");
+  report.headline("max cost reduction vs Cache-Agg", 99.65, max_cost_red, "%");
+  report.write(args);
   return 0;
 }

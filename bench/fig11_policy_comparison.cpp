@@ -9,11 +9,13 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig11");
   bench::banner("Figure 11",
                 "Tailored vs traditional caching policies in FLStore");
 
-  auto cfg = bench::paper_scenario("efficientnet_v2_s", 0.5);
+  auto cfg = bench::paper_scenario("efficientnet_v2_s", 0.5 * args.scale);
   sim::Scenario sc(cfg);
   const auto trace = sc.trace();
 
@@ -78,13 +80,14 @@ int main() {
   const double dbg_lru = all["FLStore-LRU"].at(dbg).latency.mean();
   const double dbg_fl = all["FLStore"].at(dbg).latency.mean();
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("debugging latency reduction vs traditional", 97.15,
-                      percent_reduction(dbg_lru, dbg_fl), "%");
-  sim::print_headline("debugging absolute reduction", 380.0, dbg_lru - dbg_fl,
-                      "s");
+  report.headline("debugging latency reduction vs traditional", 97.15,
+                  percent_reduction(dbg_lru, dbg_fl), "%");
+  report.headline("debugging absolute reduction", 380.0, dbg_lru - dbg_fl,
+                  "s");
   bench::note(
       "Shape check: FLStore <= FLStore-limited << Random < LRU/FIFO on the\n"
       "iterative workloads; even FLStore-limited beats every traditional\n"
       "policy, as in the paper.");
+  report.write(args);
   return 0;
 }

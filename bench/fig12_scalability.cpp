@@ -8,7 +8,9 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig12");
   bench::banner("Figure 12",
                 "Latency/cost vs parallel requests (5 cached functions)");
 
@@ -18,7 +20,10 @@ int main() {
       fed::WorkloadType::kInference};
   constexpr int kCachedFunctions = 5;
 
-  auto cfg = bench::paper_scenario("efficientnet_v2_s", 0.05);
+  auto cfg = bench::paper_scenario("efficientnet_v2_s", 0.05 * args.scale);
+  // The burst targets the round ingested at t=200s (interval 10s) — the
+  // figure's structure; --scale must not shrink the job below it.
+  cfg.rounds = std::max<RoundId>(cfg.rounds, 21);
   sim::Scenario sc(cfg);
 
   Table lat({"parallel requests", "Malicious Filt. (s)", "Cosine sim. (s)",
@@ -70,12 +75,13 @@ int main() {
   std::printf("\nPer-request cost:\n%s", cost.to_string().c_str());
 
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("malicious-filter latency at <=5 parallel", 1.05,
-                      flat_lat_at_5, "s");
-  sim::print_headline("latency growth factor at 10 parallel", 2.0,
-                      lat_at_10 / flat_lat_at_5, "x");
+  report.headline("malicious-filter latency at <=5 parallel", 1.05,
+                  flat_lat_at_5, "s");
+  report.headline("latency growth factor at 10 parallel", 2.0,
+                  lat_at_10 / flat_lat_at_5, "x");
   bench::note(
       "Shape check: flat latency until requests exceed the cached function\n"
       "count, then queueing doubles it by 10 parallel requests.");
+  report.write(args);
   return 0;
 }

@@ -9,7 +9,9 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig15");
   bench::banner("Figure 15",
                 "Total time breakup over 50 h / 3000 requests (hours)");
 
@@ -23,7 +25,7 @@ int main() {
                             {"swin_v2_t", 20.45}};
 
   for (const auto& [model, paper_red] : paper) {
-    sim::Scenario sc(bench::paper_scenario(model));
+    sim::Scenario sc(bench::paper_scenario(model, args.scale));
     const auto trace = sc.trace();
     auto fl = sim::adapt(sc.flstore());
     auto base = sim::adapt(sc.objstore_agg());
@@ -51,12 +53,13 @@ int main() {
     const double comm_share = base_run.total_comm_s() /
                               (base_run.total_comm_s() + base_run.total_comp_s()) *
                               100.0;
-    sim::print_headline("communication share of baseline total", 98.9,
-                        comm_share, "%");
-    sim::print_headline("avg latency reduction for this model", paper_red,
-                        percent_reduction(base_run.total_latency_s(),
-                                          fl_run.total_latency_s()),
-                        "%");
+    report.headline(std::string("comm share of baseline total / ") + model,
+                    98.9, comm_share, "%");
+    report.headline(std::string("avg latency reduction / ") + model, paper_red,
+                    percent_reduction(base_run.total_latency_s(),
+                                      fl_run.total_latency_s()),
+                    "%");
   }
+  report.write(args);
   return 0;
 }

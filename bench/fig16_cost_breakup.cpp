@@ -10,7 +10,9 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig16");
   bench::banner("Figure 16",
                 "Total cost breakup over 50 h / 3000 requests ($)");
 
@@ -25,7 +27,7 @@ int main() {
                              {"swin_v2_t", 53.32, 77.83}};
 
   for (const auto& [model, paper_io, paper_red] : paper) {
-    sim::Scenario sc(bench::paper_scenario(model));
+    sim::Scenario sc(bench::paper_scenario(model, args.scale));
     const auto trace = sc.trace();
     auto fl = sim::adapt(sc.flstore());
     auto base = sim::adapt(sc.objstore_agg());
@@ -54,12 +56,13 @@ int main() {
     const double io_share = base_run.total_comm_s() /
                             (base_run.total_comm_s() + base_run.total_comp_s()) *
                             100.0;
-    sim::print_headline("I/O share of baseline total", paper_io, io_share,
-                        "%");
-    sim::print_headline("avg cost reduction for this model", paper_red,
-                        percent_reduction(base_run.total_serving_usd(),
-                                          fl_run.total_serving_usd()),
-                        "%");
+    report.headline(std::string("I/O share of baseline total / ") + model,
+                    paper_io, io_share, "%");
+    report.headline(std::string("avg cost reduction / ") + model, paper_red,
+                    percent_reduction(base_run.total_serving_usd(),
+                                      fl_run.total_serving_usd()),
+                    "%");
   }
+  report.write(args);
   return 0;
 }

@@ -9,11 +9,16 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig18");
   bench::banner("Figure 18",
                 "FLStore vs FLStore-Static across a workload switch");
 
-  auto cfg = bench::paper_scenario("mobilenet_v3_small", 0.1);
+  auto cfg = bench::paper_scenario("mobilenet_v3_small", 0.1 * args.scale);
+  // The two 30-round phases below are the figure's structure; --scale
+  // shrinks the trace but the job must still own at least 60 rounds.
+  cfg.rounds = std::max<RoundId>(cfg.rounds, 60);
   sim::Scenario sc(cfg);
 
   auto adaptive = sc.make_flstore_variant(core::PolicyMode::kTailored);
@@ -60,12 +65,13 @@ int main() {
   std::printf("%s", table.to_string().c_str());
 
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("latency reduction vs static policy", 99.0,
-                      percent_reduction(static_lat.mean(), adaptive_lat.mean()),
-                      "%");
-  sim::print_headline("absolute latency reduction", 8.0,
-                      static_lat.mean() - adaptive_lat.mean(), "s");
-  sim::print_headline("cost ratio static / adaptive", 3.0,
-                      static_cost.mean() / adaptive_cost.mean(), "x");
+  report.headline("latency reduction vs static policy", 99.0,
+                  percent_reduction(static_lat.mean(), adaptive_lat.mean()),
+                  "%");
+  report.headline("absolute latency reduction", 8.0,
+                  static_lat.mean() - adaptive_lat.mean(), "s");
+  report.headline("cost ratio static / adaptive", 3.0,
+                  static_cost.mean() / adaptive_cost.mean(), "x");
+  report.write(args);
   return 0;
 }

@@ -7,7 +7,11 @@
 
 using namespace flstore;
 
-int main() {
+int main(int argc, char** argv) {
+  // The footprint table is a pure catalog dump — --scale has nothing to
+  // shrink, but the common CLI still applies so --json works uniformly.
+  const auto args = bench::parse_args(argc, argv);
+  bench::JsonReport report("fig19");
   bench::banner("Figure 19", "Memory footprint of 23 cross-device FL models");
 
   auto specs = std::vector<ModelSpec>(ModelZoo::instance().all().begin(),
@@ -28,8 +32,9 @@ int main() {
 
   const double avg = ModelZoo::instance().average_object_mib();
   std::printf("\nHeadlines (paper vs measured):\n");
-  sim::print_headline("average model object size", 160.88, avg, "MiB");
-  sim::print_headline("models in the zoo", 23,
-                      static_cast<double>(specs.size()), "");
+  report.headline("average model object size", 160.88, avg, "MiB");
+  report.headline("models in the zoo", 23, static_cast<double>(specs.size()),
+                  "");
+  report.write(args);
   return 0;
 }

@@ -80,6 +80,7 @@ MetadataKey bench_key(std::size_t i) {
 
 EvictionCostRow eviction_cost(core::PolicyMode order, bool round_aware,
                               std::size_t n, std::size_t victims) {
+  // flstore-lint: allow(wall-clock) -- real CPU microbenchmark: victims/sec of actual eviction work, not simulated time
   using clock = std::chrono::steady_clock;
   EvictionCostRow row;
 

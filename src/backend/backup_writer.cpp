@@ -14,7 +14,7 @@ void BackupWriter::enqueue(std::string name, Blob blob,
                            units::Bytes logical_bytes, double now) {
   bool drain = false;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     pending_.push_back(
         PutRequest{std::move(name), std::move(blob), logical_bytes});
     ++stats_.enqueued;
@@ -26,7 +26,7 @@ void BackupWriter::enqueue(std::string name, Blob blob,
 std::size_t BackupWriter::flush(double now) {
   std::vector<PutRequest> batch;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     if (pending_.empty()) return 0;
     batch.swap(pending_);
   }
@@ -34,7 +34,7 @@ std::size_t BackupWriter::flush(double now) {
   const auto res = backend_->put_batch(std::move(batch), now);
   meter_->charge(CostCategory::kStorageService, res.request_fee_usd);
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++stats_.flushes;
     stats_.objects_written += res.stored;
     stats_.rejected += batch_size - res.stored;
@@ -52,12 +52,12 @@ std::size_t BackupWriter::flush(double now) {
 }
 
 std::size_t BackupWriter::pending() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return pending_.size();
 }
 
 BackupWriter::Stats BackupWriter::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 

@@ -15,12 +15,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "backend/storage_backend.hpp"
 #include "cloud/cost_meter.hpp"
+#include "common/mutex.hpp"
 
 namespace flstore::backend {
 
@@ -56,14 +56,14 @@ class BackupWriter {
 
   /// Queue one object for backup. Triggers an auto-flush at max_batch.
   void enqueue(std::string name, Blob blob, units::Bytes logical_bytes,
-               double now);
+               double now) EXCLUDES(mu_);
 
   /// Drain everything pending through one batched multi-put. Returns the
   /// number of objects written.
-  std::size_t flush(double now);
+  std::size_t flush(double now) EXCLUDES(mu_);
 
-  [[nodiscard]] std::size_t pending() const;
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t pending() const EXCLUDES(mu_);
+  [[nodiscard]] Stats stats() const EXCLUDES(mu_);
 
   /// Let `scheduler` observe the backend after every batch drain — the
   /// ingest-cadence hook that makes write-back age/byte thresholds fire
@@ -77,11 +77,12 @@ class BackupWriter {
  private:
   StorageBackend* backend_;
   CostMeter* meter_;
+  /// Set-once wiring (before traffic); unguarded by design.
   FlushScheduler* scheduler_ = nullptr;
   Config config_;
-  mutable std::mutex mu_;
-  std::vector<PutRequest> pending_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::vector<PutRequest> pending_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace flstore::backend

@@ -53,7 +53,7 @@ PutResult CloudCacheBackend::put(const std::string& name, Blob blob,
   const units::Bytes logical = effective_logical(blob, logical_bytes);
   PutResult res;
   res.latency_s = config_.link.transfer_time(logical);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   res.accepted =
       store_locked(name, std::make_shared<const Blob>(std::move(blob)),
@@ -73,7 +73,7 @@ BatchPutResult CloudCacheBackend::put_batch(std::vector<PutRequest> batch,
   res.accepted.reserve(batch.size());
   units::Bytes stored = 0;
   units::Bytes attempted = 0;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   for (auto& item : batch) {
     const units::Bytes logical =
@@ -102,7 +102,7 @@ BatchPutResult CloudCacheBackend::put_batch(std::vector<PutRequest> batch,
 
 GetResult CloudCacheBackend::get(const std::string& name, double now) {
   GetResult res;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   ++stats_.gets;
   const auto it = entries_.find(name);
@@ -123,7 +123,7 @@ GetResult CloudCacheBackend::get(const std::string& name, double now) {
 
 bool CloudCacheBackend::remove(const std::string& name, double now) {
   (void)now;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.removes;
   const auto it = entries_.find(name);
   if (it == entries_.end()) return false;
@@ -134,37 +134,37 @@ bool CloudCacheBackend::remove(const std::string& name, double now) {
 }
 
 bool CloudCacheBackend::contains(const std::string& name) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return entries_.contains(name);
 }
 
 units::Bytes CloudCacheBackend::stored_logical_bytes() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return used_;
 }
 
 units::Bytes CloudCacheBackend::capacity_bytes() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return config_.auto_scale ? 0 : capacity_locked();
 }
 
 double CloudCacheBackend::idle_cost(double seconds) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return pricing_->cache_nodes_cost(nodes_, seconds);
 }
 
 OpStats CloudCacheBackend::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 int CloudCacheBackend::nodes() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return nodes_;
 }
 
 std::uint64_t CloudCacheBackend::evictions() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return evictions_;
 }
 

@@ -14,11 +14,11 @@
 #pragma once
 
 #include <list>
-#include <mutex>
 #include <unordered_map>
 
 #include "backend/storage_backend.hpp"
 #include "cloud/pricing.hpp"
+#include "common/mutex.hpp"
 #include "simnet/network.hpp"
 
 namespace flstore::backend {
@@ -62,24 +62,24 @@ class CloudCacheBackend final : public StorageBackend {
     std::list<std::string>::iterator lru_pos;
   };
 
-  /// Caller holds mu_. Returns false when the object can never fit.
+  /// Returns false when the object can never fit.
   bool store_locked(const std::string& name, std::shared_ptr<const Blob> blob,
-                    units::Bytes logical_bytes);
-  void evict_lru_locked();
-  [[nodiscard]] units::Bytes capacity_locked() const noexcept {
+                    units::Bytes logical_bytes) REQUIRES(mu_);
+  void evict_lru_locked() REQUIRES(mu_);
+  [[nodiscard]] units::Bytes capacity_locked() const noexcept REQUIRES(mu_) {
     return static_cast<units::Bytes>(nodes_) * pricing_->cache_node_capacity;
   }
 
   Config config_;
   const PricingCatalog* pricing_;
-  mutable std::mutex mu_;
-  Throttle throttle_;
-  int nodes_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::list<std::string> lru_;  ///< front = most recent
-  units::Bytes used_ = 0;
-  std::uint64_t evictions_ = 0;
-  OpStats stats_;
+  mutable Mutex mu_;
+  Throttle throttle_ GUARDED_BY(mu_);
+  int nodes_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mu_);
+  std::list<std::string> lru_ GUARDED_BY(mu_);  ///< front = most recent
+  units::Bytes used_ GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  OpStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace flstore::backend

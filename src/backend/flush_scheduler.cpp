@@ -47,7 +47,7 @@ void FlushScheduler::book_locked(const StorageBackend::FlushResult& r,
 
 StorageBackend::FlushResult FlushScheduler::observe(double now,
                                                     bool round_boundary) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   StorageBackend::FlushResult total;
   auto window = backend_->dirty_window();
   if (policy_.max_dirty_age_s > 0.0) {
@@ -93,7 +93,7 @@ StorageBackend::FlushResult FlushScheduler::observe(double now,
 }
 
 StorageBackend::FlushResult FlushScheduler::flush_now(double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   advance_locked(now, backend_->dirty_window());
   StorageBackend::FlushResult total;
   const auto drained = backend_->flush(now);
@@ -103,7 +103,7 @@ StorageBackend::FlushResult FlushScheduler::flush_now(double now) {
 }
 
 StorageBackend::CrashResult FlushScheduler::crash(double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   advance_locked(now, backend_->dirty_window());
   const auto lost = backend_->crash(now);
   ++ledger_.crashes;
@@ -114,7 +114,7 @@ StorageBackend::CrashResult FlushScheduler::crash(double now) {
 }
 
 DirtyWindowStats FlushScheduler::dirty_window_stats(double now) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   DirtyWindowStats stats = ledger_;
   const auto window = backend_->dirty_window();
   stats.dirty_bytes = window.bytes;

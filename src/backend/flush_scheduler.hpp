@@ -34,9 +34,9 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "backend/storage_backend.hpp"
+#include "common/mutex.hpp"
 
 namespace flstore::backend {
 
@@ -100,41 +100,43 @@ class FlushScheduler {
   /// the round-boundary drain when `round_boundary` and the policy asks
   /// for it. Returns the aggregate drain result; the caller charges the
   /// fees to its meter exactly as it would an explicit flush().
-  StorageBackend::FlushResult observe(double now, bool round_boundary = false);
+  StorageBackend::FlushResult observe(double now, bool round_boundary = false)
+      EXCLUDES(mu_);
 
   /// Unconditional drain (the explicit-flush escape hatch), booked to the
   /// ledger like any other trigger.
-  StorageBackend::FlushResult flush_now(double now);
+  StorageBackend::FlushResult flush_now(double now) EXCLUDES(mu_);
 
   /// Crash at `now`: the backend loses its dirty window (objects revert to
   /// their last flushed version) and the losses are booked to the ledger.
-  StorageBackend::CrashResult crash(double now);
+  StorageBackend::CrashResult crash(double now) EXCLUDES(mu_);
 
   /// Ledger snapshot with the current window sampled at `now` (peaks and
   /// the integral include the un-booked gap since the last observation;
   /// nothing is mutated).
-  [[nodiscard]] DirtyWindowStats dirty_window_stats(double now) const;
+  [[nodiscard]] DirtyWindowStats dirty_window_stats(double now) const
+      EXCLUDES(mu_);
 
   [[nodiscard]] const FlushPolicy& policy() const noexcept { return policy_; }
 
  private:
   /// Advance the sampled timeline to `to` given the window `w` observed
-  /// there: integral (trapezoid), peaks, last-sample state. Caller holds
-  /// mu_. Out-of-order timestamps (parallel tenant timelines) only update
-  /// peaks.
-  void advance_locked(double to, const StorageBackend::DirtyWindow& w);
+  /// there: integral (trapezoid), peaks, last-sample state. Out-of-order
+  /// timestamps (parallel tenant timelines) only update peaks.
+  void advance_locked(double to, const StorageBackend::DirtyWindow& w)
+      REQUIRES(mu_);
 
   /// Book one drain slice into the ledger + the aggregate result.
   void book_locked(const StorageBackend::FlushResult& r,
                    std::uint64_t DirtyWindowStats::* trigger,
-                   StorageBackend::FlushResult& total);
+                   StorageBackend::FlushResult& total) REQUIRES(mu_);
 
   StorageBackend* backend_;
   FlushPolicy policy_;
-  mutable std::mutex mu_;
-  DirtyWindowStats ledger_;
-  double last_sample_s_ = 0.0;
-  units::Bytes last_bytes_ = 0;
+  mutable Mutex mu_;
+  DirtyWindowStats ledger_ GUARDED_BY(mu_);
+  double last_sample_s_ GUARDED_BY(mu_) = 0.0;
+  units::Bytes last_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flstore::backend

@@ -38,7 +38,7 @@ PutResult LocalSsdBackend::put(const std::string& name, Blob blob,
   const units::Bytes logical = effective_logical(blob, logical_bytes);
   PutResult res;
   res.latency_s = config_.link.transfer_time(logical);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   res.accepted = store_locked(name, std::move(blob), logical);
   return res;
@@ -53,7 +53,7 @@ BatchPutResult LocalSsdBackend::put_batch(std::vector<PutRequest> batch,
   BatchPutResult res;
   res.accepted.reserve(batch.size());
   units::Bytes attempted = 0;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   for (auto& item : batch) {
     const units::Bytes logical =
@@ -72,7 +72,7 @@ BatchPutResult LocalSsdBackend::put_batch(std::vector<PutRequest> batch,
 
 GetResult LocalSsdBackend::get(const std::string& name, double now) {
   GetResult res;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   res.latency_s += admit_throttled(throttle_, stats_, now);
   ++stats_.gets;
   const auto it = objects_.find(name);
@@ -90,7 +90,7 @@ GetResult LocalSsdBackend::get(const std::string& name, double now) {
 
 bool LocalSsdBackend::remove(const std::string& name, double now) {
   (void)now;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.removes;
   const auto it = objects_.find(name);
   if (it == objects_.end()) return false;
@@ -101,32 +101,32 @@ bool LocalSsdBackend::remove(const std::string& name, double now) {
 }
 
 bool LocalSsdBackend::contains(const std::string& name) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return objects_.contains(name);
 }
 
 units::Bytes LocalSsdBackend::stored_logical_bytes() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return used_;
 }
 
 units::Bytes LocalSsdBackend::capacity_bytes() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return config_.auto_scale ? 0 : capacity_locked();
 }
 
 double LocalSsdBackend::idle_cost(double seconds) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return pricing_->ssd_devices_cost(devices_, seconds);
 }
 
 OpStats LocalSsdBackend::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 int LocalSsdBackend::devices() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return devices_;
 }
 

@@ -10,11 +10,11 @@
 // per-request fees either way; the bill is all idle_cost().
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 
 #include "backend/storage_backend.hpp"
 #include "cloud/pricing.hpp"
+#include "common/mutex.hpp"
 #include "simnet/network.hpp"
 
 namespace flstore::backend {
@@ -56,23 +56,23 @@ class LocalSsdBackend final : public StorageBackend {
     units::Bytes logical_bytes = 0;
   };
 
-  /// Caller holds mu_. Returns false when the object cannot be stored
-  /// (fixed fleet, full); a refused overwrite leaves the old version.
+  /// Returns false when the object cannot be stored (fixed fleet, full); a
+  /// refused overwrite leaves the old version.
   bool store_locked(const std::string& name, Blob blob,
-                    units::Bytes logical_bytes);
+                    units::Bytes logical_bytes) REQUIRES(mu_);
 
-  [[nodiscard]] units::Bytes capacity_locked() const noexcept {
+  [[nodiscard]] units::Bytes capacity_locked() const noexcept REQUIRES(mu_) {
     return static_cast<units::Bytes>(devices_) * pricing_->ssd_device_capacity;
   }
 
   Config config_;
   const PricingCatalog* pricing_;
-  mutable std::mutex mu_;
-  Throttle throttle_;
-  int devices_;
-  std::unordered_map<std::string, Object> objects_;
-  units::Bytes used_ = 0;
-  OpStats stats_;
+  mutable Mutex mu_;
+  Throttle throttle_ GUARDED_BY(mu_);
+  int devices_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, Object> objects_ GUARDED_BY(mu_);
+  units::Bytes used_ GUARDED_BY(mu_) = 0;
+  OpStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace flstore::backend

@@ -3,7 +3,7 @@
 namespace flstore::backend {
 
 double ObjectStoreBackend::admit(double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return admit_throttled(throttle_, stats_, now);
 }
 
@@ -15,7 +15,7 @@ PutResult ObjectStoreBackend::put(const std::string& name, Blob blob,
   PutResult res;
   res.latency_s = wait + store_res.latency_s;
   res.request_fee_usd = store_res.request_fee_usd;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.puts;
   stats_.bytes_written += logical;
   stats_.fees_usd += res.request_fee_usd;
@@ -41,7 +41,7 @@ BatchPutResult ObjectStoreBackend::put_batch(std::vector<PutRequest> batch,
     ++res.stored;
   }
   res.latency_s += store_->access_link().transfer_time(total);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.batches;
   stats_.puts += res.stored;
   stats_.bytes_written += total;
@@ -58,7 +58,7 @@ GetResult ObjectStoreBackend::get(const std::string& name, double now) {
   res.logical_bytes = store_res.logical_bytes;
   res.latency_s = wait + store_res.latency_s;
   res.request_fee_usd = store_res.request_fee_usd;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.gets;
   stats_.bytes_read += res.logical_bytes;
   stats_.fees_usd += res.request_fee_usd;
@@ -68,7 +68,7 @@ GetResult ObjectStoreBackend::get(const std::string& name, double now) {
 bool ObjectStoreBackend::remove(const std::string& name, double now) {
   (void)admit(now);
   const bool removed = store_->remove(name);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.removes;
   return removed;
 }
@@ -86,7 +86,7 @@ double ObjectStoreBackend::idle_cost(double seconds) const {
 }
 
 OpStats ObjectStoreBackend::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 

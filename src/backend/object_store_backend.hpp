@@ -8,9 +8,8 @@
 // the op ledger. idle_cost() is the GB-month storage fee.
 #pragma once
 
-#include <mutex>
-
 #include "backend/storage_backend.hpp"
+#include "common/mutex.hpp"
 
 namespace flstore::backend {
 
@@ -53,14 +52,14 @@ class ObjectStoreBackend final : public StorageBackend {
   [[nodiscard]] ObjectStore& store() noexcept { return *store_; }
 
  private:
-  double admit(double now);
+  double admit(double now) EXCLUDES(mu_);
 
   std::unique_ptr<ObjectStore> owned_store_;  ///< null in non-owning mode
   ObjectStore* store_;
   Config config_;
-  mutable std::mutex mu_;  ///< guards throttle_ and stats_
-  Throttle throttle_;
-  OpStats stats_;
+  mutable Mutex mu_;
+  Throttle throttle_ GUARDED_BY(mu_);
+  OpStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace flstore::backend

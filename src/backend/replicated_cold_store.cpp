@@ -65,7 +65,7 @@ void ReplicatedColdStore::rollback_version_locked(const std::string& name,
 }
 
 void ReplicatedColdStore::set_outages(std::vector<OutageWindow> outages) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& region : regions_) region.outages.clear();
   for (auto& window : outages) {
     FLSTORE_CHECK(window.region < regions_.size());
@@ -80,7 +80,7 @@ void ReplicatedColdStore::set_outages(std::vector<OutageWindow> outages) {
 }
 
 bool ReplicatedColdStore::in_outage(std::size_t region, double now) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& window : regions_.at(region).outages) {
     if (window.start_s > now) break;
     if (now < window.end_s) return true;
@@ -93,7 +93,7 @@ PutResult ReplicatedColdStore::put(const std::string& name, Blob blob,
   const units::Bytes logical = effective_logical(blob, logical_bytes);
   std::uint64_t version = 0;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     version = ++latest_[name];
   }
   PutResult res;
@@ -134,7 +134,7 @@ PutResult ReplicatedColdStore::put(const std::string& name, Blob blob,
     res.latency_s = slowest_attempt;
   }
   res.request_fee_usd = fees + egress;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   // A quorum-failed write that reached *some* region is not rolled back —
   // those replicas hold (and serve) the newest version. A write *no*
   // region took must not advance the version, though, or every replica
@@ -165,7 +165,7 @@ BatchPutResult ReplicatedColdStore::put_batch(std::vector<PutRequest> batch,
   for (const auto& item : batch) attempted += item.logical_bytes;
   std::vector<std::uint64_t> versions(batch.size(), 0);
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     for (std::size_t k = 0; k < batch.size(); ++k) {
       versions[k] = ++latest_[batch[k].name];
     }
@@ -221,7 +221,7 @@ BatchPutResult ReplicatedColdStore::put_batch(std::vector<PutRequest> batch,
     written += batch[k].logical_bytes;
   }
   res.request_fee_usd += egress;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& [region, item_accepted] : region_accepts) {
     for (std::size_t k = 0; k < batch.size(); ++k) {
       if (!item_accepted[k]) continue;
@@ -250,7 +250,7 @@ GetResult ReplicatedColdStore::get(const std::string& name, double now) {
   std::uint64_t latest = 0;
   bool versioned = false;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = latest_.find(name);
     if (it != latest_.end()) {
       latest = it->second;
@@ -258,7 +258,7 @@ GetResult ReplicatedColdStore::get(const std::string& name, double now) {
     }
   }
   const auto region_version = [&](std::size_t i) -> std::uint64_t {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = regions_[i].versions.find(name);
     return it == regions_[i].versions.end() ? 0 : it->second;
   };
@@ -365,7 +365,7 @@ GetResult ReplicatedColdStore::get(const std::string& name, double now) {
     }
   }
   res.request_fee_usd += egress;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto j : repaired_regions) {
     auto& seen = regions_[j].versions[name];
     seen = std::max(seen, latest);
@@ -389,7 +389,7 @@ bool ReplicatedColdStore::remove(const std::string& name, double now) {
     if (!region.resolved->contains(name)) continue;
     removed = region.resolved->remove(name, now) || removed;
   }
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   latest_.erase(name);
   for (auto& region : regions_) region.versions.erase(name);
   ++stats_.removes;
@@ -451,7 +451,7 @@ StorageBackend::FlushResult ReplicatedColdStore::flush_window(
         std::max(result.refused_bytes, region_res.refused_bytes);
     result.request_fee_usd += region_res.request_fee_usd;
   }
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   stats_.fees_usd += result.request_fee_usd;
   return result;
 }
@@ -496,37 +496,37 @@ std::string ReplicatedColdStore::name() const {
 }
 
 OpStats ReplicatedColdStore::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 double ReplicatedColdStore::egress_fees_usd() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return egress_fees_usd_;
 }
 
 std::uint64_t ReplicatedColdStore::failover_reads() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return failover_reads_;
 }
 
 std::uint64_t ReplicatedColdStore::outage_skips() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return outage_skips_;
 }
 
 std::uint64_t ReplicatedColdStore::stale_skips() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stale_skips_;
 }
 
 std::uint64_t ReplicatedColdStore::quorum_failures() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return quorum_failures_;
 }
 
 std::uint64_t ReplicatedColdStore::repairs() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return repairs_;
 }
 

@@ -38,7 +38,7 @@ PutResult TieredColdStore::put(const std::string& name, Blob blob,
       for (std::size_t k = 0; k < i; ++k) {
         if (tiers_[k]->contains(name)) (void)tiers_[k]->remove(name, now);
       }
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       if (i + 1 < tiers_.size()) {
         mark_dirty_locked(name, logical, now);
       } else {
@@ -48,7 +48,7 @@ PutResult TieredColdStore::put(const std::string& name, Blob blob,
       }
       break;
     }
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++stats_.puts;
     if (!res.accepted) ++stats_.rejected_puts;
     stats_.bytes_written += res.accepted ? logical : 0;
@@ -83,7 +83,7 @@ PutResult TieredColdStore::put(const std::string& name, Blob blob,
   }
   // All tiers full and fixed: the bytes still travelled to the deepest one.
   res.latency_s = any ? fastest : last;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.puts;
   if (!res.accepted) ++stats_.rejected_puts;
   stats_.bytes_written += any ? logical : 0;
@@ -111,7 +111,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         // In the fast tier; durability in the deepest tier owed to flush().
         written += logical;
         if (tiers_.size() > 1) {
-          const std::scoped_lock lock(mu_);
+          const MutexLock lock(mu_);
           mark_dirty_locked(item.name, logical, now);
         }
         continue;
@@ -138,7 +138,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         // The fall-through stream is part of this batch's write time.
         res.latency_s = std::max(res.latency_s, deep.latency_s);
         {
-          const std::scoped_lock lock(mu_);
+          const MutexLock lock(mu_);
           if (j + 1 < tiers_.size()) {
             mark_dirty_locked(item.name, logical, now);
           } else {
@@ -148,7 +148,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
         break;
       }
     }
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     ++stats_.batches;
     // `puts` counts attempts, like the single-put path and every backend.
     stats_.puts += batch.size();
@@ -212,7 +212,7 @@ BatchPutResult TieredColdStore::put_batch(std::vector<PutRequest> batch,
   for (std::size_t k = 0; k < names.size(); ++k) {
     if (k < res.accepted.size() && res.accepted[k]) written += logicals[k];
   }
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.batches;
   stats_.puts += names.size();
   stats_.rejected_puts += names.size() - res.stored;
@@ -246,7 +246,7 @@ GetResult TieredColdStore::get(const std::string& name, double now) {
     }
     break;
   }
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++stats_.gets;
   stats_.bytes_read += res.found ? res.logical_bytes : 0;
   stats_.fees_usd += res.request_fee_usd;
@@ -256,7 +256,7 @@ GetResult TieredColdStore::get(const std::string& name, double now) {
 bool TieredColdStore::remove(const std::string& name, double now) {
   bool removed = false;
   for (auto* tier : tiers_) removed = tier->remove(name, now) || removed;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   clear_dirty_locked(name);
   ++stats_.removes;
   return removed;
@@ -273,7 +273,7 @@ units::Bytes TieredColdStore::stored_logical_bytes() const {
   // resident only above it. Counting just the deep tier would make every
   // un-flushed write-back object invisible while dirty_count() is nonzero.
   units::Bytes total = tiers_.back()->stored_logical_bytes();
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   for (const auto& [dirty_name, info] : dirty_) {
     if (!tiers_.back()->contains(dirty_name)) total += info.bytes;
   }
@@ -315,7 +315,7 @@ std::string TieredColdStore::name() const {
 }
 
 OpStats TieredColdStore::stats() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
@@ -333,7 +333,7 @@ StorageBackend::FlushResult TieredColdStore::flush_window(
   };
   std::vector<Candidate> drain;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     drain.reserve(dirty_.size());
     for (const auto& [dirty_name, info] : dirty_) {
       if (info.since_s <= dirty_before) {
@@ -352,7 +352,7 @@ StorageBackend::FlushResult TieredColdStore::flush_window(
             });
   if (max_objects > 0 && drain.size() > max_objects) drain.resize(max_objects);
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     for (const auto& candidate : drain) clear_dirty_locked(candidate.name);
   }
   // Each dirty object is read from the shallowest tier still holding it.
@@ -384,7 +384,7 @@ StorageBackend::FlushResult TieredColdStore::flush_window(
       // gone — write-back's crash-consistency window. Counted, never
       // silent: a nonzero dropped_dirty_count() means flushes are not
       // keeping up with the fast tier's eviction rate.
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       ++dropped_dirty_;
     }
   }
@@ -395,7 +395,7 @@ StorageBackend::FlushResult TieredColdStore::flush_window(
   const auto res = tiers_.back()->put_batch(std::move(staged), now);
   result.drained = res.stored;
   result.request_fee_usd += res.request_fee_usd;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   stats_.fees_usd += result.request_fee_usd;
   for (std::size_t k = 0; k < staged_info.size(); ++k) {
     if (k < res.accepted.size() && res.accepted[k]) {
@@ -415,7 +415,7 @@ StorageBackend::FlushResult TieredColdStore::flush_window(
 StorageBackend::DirtyWindow TieredColdStore::dirty_window() const {
   // O(1) snapshot from the incremental bookkeeping: flush schedulers call
   // this on every ingest observation, so it must not rescan the map.
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   DirtyWindow window;
   window.objects = dirty_.size();
   window.bytes = dirty_bytes_;
@@ -427,7 +427,7 @@ StorageBackend::CrashResult TieredColdStore::crash(double now) {
   CrashResult result;
   std::vector<std::string> lost;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     lost.reserve(dirty_.size());
     for (const auto& [dirty_name, info] : dirty_) {
       lost.push_back(dirty_name);
@@ -491,12 +491,12 @@ void TieredColdStore::mark_dirty_refused_locked(const std::string& name,
 }
 
 std::size_t TieredColdStore::dirty_count() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return dirty_.size();
 }
 
 std::uint64_t TieredColdStore::dropped_dirty_count() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return dropped_dirty_;
 }
 

@@ -23,11 +23,11 @@
 // serve::ShardedStore cannot tell one backend from a stack of them.
 #pragma once
 
-#include <mutex>
 #include <set>
 #include <unordered_map>
 
 #include "backend/storage_backend.hpp"
+#include "common/mutex.hpp"
 
 namespace flstore::backend {
 
@@ -122,32 +122,33 @@ class TieredColdStore final : public StorageBackend {
     double since_s = 0.0;
   };
 
-  /// Record `name` as dirty at `now` (caller holds mu_). A re-dirtied
-  /// object keeps its original stamp and adopts the new size. Maintains
-  /// the incremental window bookkeeping below.
+  /// Record `name` as dirty at `now`. A re-dirtied object keeps its
+  /// original stamp and adopts the new size. Maintains the incremental
+  /// window bookkeeping below.
   void mark_dirty_locked(const std::string& name, units::Bytes logical,
-                         double now);
-  /// Drop `name`'s dirty entry if present (caller holds mu_), keeping the
-  /// window bookkeeping consistent. Every erase funnels through here.
-  void clear_dirty_locked(const std::string& name);
+                         double now) REQUIRES(mu_);
+  /// Drop `name`'s dirty entry if present, keeping the window bookkeeping
+  /// consistent. Every erase funnels through here.
+  void clear_dirty_locked(const std::string& name) REQUIRES(mu_);
   /// Re-enter a refused drain into the dirty map with its *original* stamp
-  /// (caller holds mu_) — insert-if-absent, so a concurrent re-dirty wins.
+  /// — insert-if-absent, so a concurrent re-dirty wins.
   void mark_dirty_refused_locked(const std::string& name,
-                                 units::Bytes logical, double since);
+                                 units::Bytes logical, double since)
+      REQUIRES(mu_);
 
   Config config_;
   std::vector<StorageBackend*> tiers_;
-  mutable std::mutex mu_;  ///< guards dirty_ and stats_
+  mutable Mutex mu_;
   /// Objects accepted by a tier above the deepest and not yet made durable
   /// there (write-back mode).
-  std::unordered_map<std::string, Dirty> dirty_;
+  std::unordered_map<std::string, Dirty> dirty_ GUARDED_BY(mu_);
   /// Incremental dirty-window bookkeeping: flush schedulers query
   /// dirty_window() on every ingest observation, which must not rescan
   /// the whole map under mu_ each time.
-  units::Bytes dirty_bytes_ = 0;
-  std::multiset<double> dirty_stamps_;
-  std::uint64_t dropped_dirty_ = 0;
-  OpStats stats_;
+  units::Bytes dirty_bytes_ GUARDED_BY(mu_) = 0;
+  std::multiset<double> dirty_stamps_ GUARDED_BY(mu_);
+  std::uint64_t dropped_dirty_ GUARDED_BY(mu_) = 0;
+  OpStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace flstore::backend

@@ -12,7 +12,7 @@ ObjectStore::PutResult ObjectStore::put(const std::string& name, Blob blob,
   PutResult res;
   res.latency_s = link_.transfer_time(logical);
   res.request_fee_usd = pricing_->s3_usd_per_put;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++puts_;
 
   auto [it, inserted] = objects_.try_emplace(name);
@@ -28,7 +28,7 @@ ObjectStore::PutResult ObjectStore::put(const std::string& name, Blob blob,
 
 ObjectStore::GetResult ObjectStore::get(const std::string& name) {
   GetResult res;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   ++gets_;
   res.request_fee_usd = pricing_->s3_usd_per_get;
   const auto it = objects_.find(name);
@@ -45,12 +45,12 @@ ObjectStore::GetResult ObjectStore::get(const std::string& name) {
 }
 
 bool ObjectStore::contains(const std::string& name) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return objects_.contains(name);
 }
 
 bool ObjectStore::remove(const std::string& name) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = objects_.find(name);
   if (it == objects_.end()) return false;
   FLSTORE_CHECK(stored_logical_ >= it->second.logical_bytes);

@@ -14,12 +14,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cloud/pricing.hpp"
+#include "common/mutex.hpp"
 #include "common/units.hpp"
 #include "simnet/network.hpp"
 
@@ -46,30 +46,30 @@ class ObjectStore {
 
   /// Store (or overwrite) an object. `logical_bytes` defaults to blob size.
   PutResult put(const std::string& name, Blob blob,
-                units::Bytes logical_bytes = 0);
+                units::Bytes logical_bytes = 0) EXCLUDES(mu_);
 
-  GetResult get(const std::string& name);
+  GetResult get(const std::string& name) EXCLUDES(mu_);
 
   /// Existence check without a simulated round trip (control-plane lookup).
   /// (No longer noexcept: these accessors lock, and mutex::lock may throw.)
-  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] bool contains(const std::string& name) const EXCLUDES(mu_);
 
-  bool remove(const std::string& name);
+  bool remove(const std::string& name) EXCLUDES(mu_);
 
-  [[nodiscard]] units::Bytes stored_logical_bytes() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] units::Bytes stored_logical_bytes() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return stored_logical_;
   }
-  [[nodiscard]] std::size_t object_count() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::size_t object_count() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return objects_.size();
   }
-  [[nodiscard]] std::uint64_t get_count() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::uint64_t get_count() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return gets_;
   }
-  [[nodiscard]] std::uint64_t put_count() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::uint64_t put_count() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return puts_;
   }
 
@@ -85,11 +85,11 @@ class ObjectStore {
   };
   Link link_;
   const PricingCatalog* pricing_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Object> objects_;
-  units::Bytes stored_logical_ = 0;
-  std::uint64_t gets_ = 0;
-  std::uint64_t puts_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, Object> objects_ GUARDED_BY(mu_);
+  units::Bytes stored_logical_ GUARDED_BY(mu_) = 0;
+  std::uint64_t gets_ GUARDED_BY(mu_) = 0;
+  std::uint64_t puts_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flstore

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace flstore {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_write_mu;  // one fprintf per line, never interleaved
+/// Serializes stderr, not any member data, so no GUARDED_BY names it.
+// flstore-lint: allow(mutex-annotation) -- guards the fprintf stream, not a member
+Mutex g_write_mu;
 const char* name(LogLevel lv) {
   switch (lv) {
     case LogLevel::kDebug: return "DEBUG";
@@ -30,7 +33,7 @@ void Logger::set_level(LogLevel lv) noexcept {
 
 void Logger::write(LogLevel lv, const std::string& msg) {
   if (static_cast<int>(lv) < static_cast<int>(level())) return;
-  const std::scoped_lock lock(g_write_mu);
+  const MutexLock lock(g_write_mu);
   std::fprintf(stderr, "[%s] %s\n", name(lv), msg.c_str());
 }
 

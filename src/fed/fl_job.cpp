@@ -57,7 +57,7 @@ std::vector<ClientId> FLJob::participants(RoundId r) const {
   if (r < 0 || r >= config_.rounds) return {};
   // The memo is guarded: one FLJob may back several serving-plane tenants
   // whose discrete-event tasks run on pool threads concurrently.
-  const std::scoped_lock lock(participants_mu_);
+  const MutexLock lock(participants_mu_);
   auto& cached = participants_cache_[static_cast<std::size_t>(r)];
   if (!cached.empty()) return cached;
   Rng rng(config_.seed ^ (static_cast<std::uint64_t>(r) * 0x51DEC0DEULL) ^

@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "fed/client.hpp"
 #include "fed/directory.hpp"
 #include "fed/metadata.hpp"
@@ -51,7 +51,8 @@ class FLJob final : public RoundDirectory {
   [[nodiscard]] RoundId latest_round() const override {
     return config_.rounds - 1;
   }
-  [[nodiscard]] std::vector<ClientId> participants(RoundId r) const override;
+  [[nodiscard]] std::vector<ClientId> participants(RoundId r) const override
+      EXCLUDES(participants_mu_);
 
   /// The round's true descent direction (exposed for tests).
   [[nodiscard]] Tensor global_direction(RoundId r) const;
@@ -64,8 +65,9 @@ class FLJob final : public RoundDirectory {
   const ModelSpec* model_;
   std::vector<SimClient> clients_;
   /// Guards the memo below: one job may serve several concurrent tenants.
-  mutable std::mutex participants_mu_;
-  mutable std::vector<std::vector<ClientId>> participants_cache_;
+  mutable Mutex participants_mu_;
+  mutable std::vector<std::vector<ClientId>> participants_cache_
+      GUARDED_BY(participants_mu_);
 };
 
 }  // namespace flstore::fed

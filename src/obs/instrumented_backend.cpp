@@ -82,7 +82,7 @@ backend::PutResult InstrumentedBackend::put(const std::string& name,
                                             units::Bytes logical_bytes,
                                             double now) {
   const auto logical = backend::effective_logical(blob, logical_bytes);
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const double wait_before = inner_->stats().throttle_wait_s;
   const auto result = inner_->put(name, std::move(blob), logical_bytes, now);
   record_op(put_series_, now, result.latency_s, result.request_fee_usd,
@@ -101,7 +101,7 @@ backend::BatchPutResult InstrumentedBackend::put_batch(
     logical += backend::effective_logical(item.blob, item.logical_bytes);
   }
   const auto attempted = batch.size();
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const double wait_before = inner_->stats().throttle_wait_s;
   const auto result = inner_->put_batch(std::move(batch), now);
   record_op(batch_series_, now, result.latency_s, result.request_fee_usd,
@@ -116,7 +116,7 @@ backend::BatchPutResult InstrumentedBackend::put_batch(
 
 backend::GetResult InstrumentedBackend::get(const std::string& name,
                                             double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const double wait_before = inner_->stats().throttle_wait_s;
   const auto result = inner_->get(name, now);
   record_op(get_series_, now, result.latency_s, result.request_fee_usd,
@@ -128,7 +128,7 @@ backend::GetResult InstrumentedBackend::get(const std::string& name,
 }
 
 bool InstrumentedBackend::remove(const std::string& name, double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const double wait_before = inner_->stats().throttle_wait_s;
   const bool removed = inner_->remove(name, now);
   record_op(remove_series_, now, 0.0, 0.0, wait_before, "backend.remove",
@@ -137,7 +137,7 @@ bool InstrumentedBackend::remove(const std::string& name, double now) {
 }
 
 backend::StorageBackend::FlushResult InstrumentedBackend::flush(double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const double wait_before = inner_->stats().throttle_wait_s;
   const auto result = inner_->flush(now);
   record_op(flush_series_, now, 0.0, result.request_fee_usd, wait_before,
@@ -147,7 +147,7 @@ backend::StorageBackend::FlushResult InstrumentedBackend::flush(double now) {
 
 backend::StorageBackend::FlushResult InstrumentedBackend::flush_window(
     double now, double dirty_before, std::size_t max_objects) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const double wait_before = inner_->stats().throttle_wait_s;
   const auto result = inner_->flush_window(now, dirty_before, max_objects);
   record_op(flush_series_, now, 0.0, result.request_fee_usd, wait_before,

@@ -21,10 +21,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "backend/storage_backend.hpp"
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -45,14 +45,16 @@ class InstrumentedBackend final : public backend::StorageBackend {
                       Options options);
 
   backend::PutResult put(const std::string& name, Blob blob,
-                         units::Bytes logical_bytes, double now) override;
+                         units::Bytes logical_bytes, double now) override
+      EXCLUDES(mu_);
   backend::BatchPutResult put_batch(std::vector<backend::PutRequest> batch,
-                                    double now) override;
-  backend::GetResult get(const std::string& name, double now) override;
-  bool remove(const std::string& name, double now) override;
-  FlushResult flush(double now) override;
+                                    double now) override EXCLUDES(mu_);
+  backend::GetResult get(const std::string& name, double now) override
+      EXCLUDES(mu_);
+  bool remove(const std::string& name, double now) override EXCLUDES(mu_);
+  FlushResult flush(double now) override EXCLUDES(mu_);
   FlushResult flush_window(double now, double dirty_before,
-                           std::size_t max_objects) override;
+                           std::size_t max_objects) override EXCLUDES(mu_);
   [[nodiscard]] DirtyWindow dirty_window() const override;
   CrashResult crash(double now) override;
   [[nodiscard]] bool contains(const std::string& name) const override;
@@ -73,11 +75,11 @@ class InstrumentedBackend final : public backend::StorageBackend {
   };
 
   /// Bookkeeping shared by every op: ledger-diff throttle attribution,
-  /// metric updates, the op span + throttle child. Caller holds mu_ and
-  /// passes the inner throttle_wait_s sampled before the op ran.
+  /// metric updates, the op span + throttle child. The caller passes the
+  /// inner throttle_wait_s sampled before the op ran.
   void record_op(const OpSeries& series, double now, double latency_s,
                  double fee_usd, double wait_before_s, const char* span_name,
-                 const std::string& object_name);
+                 const std::string& object_name) REQUIRES(mu_);
 
   std::unique_ptr<backend::StorageBackend> owned_;  ///< null if non-owning
   backend::StorageBackend* inner_;
@@ -85,7 +87,11 @@ class InstrumentedBackend final : public backend::StorageBackend {
   Tracer* tracer_;
   std::string region_;
 
-  mutable std::mutex mu_;
+  /// Serializes the (sample ledger, run op, record diff) window so
+  /// concurrent tenants cannot misattribute each other's throttle waits.
+  /// No member is data-guarded by it — the counters are atomic; the
+  /// capability exists for the sampling window itself.
+  mutable Mutex mu_;
 
   OpSeries get_series_;
   OpSeries put_series_;

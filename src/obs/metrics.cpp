@@ -199,7 +199,7 @@ MetricsRegistry::Series& MetricsRegistry::resolve(
   }
   const auto key = series_key(name, labels);
 
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const auto [type_it, type_inserted] = name_types_.emplace(name, type);
   if (!type_inserted && type_it->second != type) {
     throw InvalidArgument("metric '" + name +
@@ -240,18 +240,18 @@ Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
 }
 
 std::size_t MetricsRegistry::series_count() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return series_.size();
 }
 
 std::size_t MetricsRegistry::cardinality(const std::string& name) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = name_cardinality_.find(name);
   return it == name_cardinality_.end() ? 0 : it->second;
 }
 
 std::string MetricsRegistry::snapshot_json() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   std::string out = "{\n  \"series\": [\n";
   std::size_t i = 0;
   for (const auto& [key, series] : series_) {

@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace flstore::obs {
 
@@ -165,26 +166,26 @@ class Histogram {
  public:
   explicit Histogram(HistogramConfig config) : hist_(config) {}
 
-  void observe(double value) {
-    const std::scoped_lock lock(mu_);
+  void observe(double value) EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     hist_.observe(value);
   }
-  [[nodiscard]] LogHistogram snapshot() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] LogHistogram snapshot() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return hist_;
   }
-  [[nodiscard]] double percentile(double p) const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] double percentile(double p) const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return hist_.percentile(p);
   }
-  [[nodiscard]] std::uint64_t count() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] std::uint64_t count() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return hist_.count();
   }
 
  private:
-  mutable std::mutex mu_;
-  LogHistogram hist_;
+  mutable Mutex mu_;
+  LogHistogram hist_ GUARDED_BY(mu_);
 };
 
 /// Thread-safe named-series registry with label-cardinality accounting and
@@ -193,15 +194,17 @@ class Histogram {
 /// throws InvalidArgument (a metric name has exactly one type).
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name, Labels labels = {});
-  Gauge& gauge(const std::string& name, Labels labels = {});
+  Counter& counter(const std::string& name, Labels labels = {})
+      EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name, Labels labels = {}) EXCLUDES(mu_);
   Histogram& histogram(const std::string& name, Labels labels = {},
-                       HistogramConfig config = {});
+                       HistogramConfig config = {}) EXCLUDES(mu_);
 
   /// Total registered series (every distinct (name, labels) pair).
-  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] std::size_t series_count() const EXCLUDES(mu_);
   /// Label-set cardinality of one metric name (0 = not registered).
-  [[nodiscard]] std::size_t cardinality(const std::string& name) const;
+  [[nodiscard]] std::size_t cardinality(const std::string& name) const
+      EXCLUDES(mu_);
 
   /// Canonical "name{k=v,...}" key of a series (what cardinality counts).
   [[nodiscard]] static std::string series_key(const std::string& name,
@@ -211,7 +214,7 @@ class MetricsRegistry {
   /// {"series":[{"name","labels":{...},"type","value"| histogram fields}]}.
   /// Histograms export count/sum/min/max/p50/p90/p99/p999 plus the
   /// non-empty buckets as [lower_bound, count] pairs.
-  [[nodiscard]] std::string snapshot_json() const;
+  [[nodiscard]] std::string snapshot_json() const EXCLUDES(mu_);
 
  private:
   enum class Type { kCounter, kGauge, kHistogram };
@@ -227,14 +230,14 @@ class MetricsRegistry {
   };
 
   Series& resolve(const std::string& name, Labels labels, Type type,
-                  const HistogramConfig* hist_config);
+                  const HistogramConfig* hist_config) EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// std::map: snapshot order (and therefore the exported JSON) is
   /// deterministic without a sort pass.
-  std::map<std::string, std::unique_ptr<Series>> series_;
-  std::map<std::string, Type> name_types_;
-  std::map<std::string, std::size_t> name_cardinality_;
+  std::map<std::string, std::unique_ptr<Series>> series_ GUARDED_BY(mu_);
+  std::map<std::string, Type> name_types_ GUARDED_BY(mu_);
+  std::map<std::string, std::size_t> name_cardinality_ GUARDED_BY(mu_);
 };
 
 /// Escape a string for embedding in a JSON string literal (shared by the

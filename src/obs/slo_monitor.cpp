@@ -45,7 +45,7 @@ void SloMonitor::record(const serve::ServiceRecord& record) {
   const auto index =
       static_cast<std::int64_t>(std::floor(at_s / config_.bucket_s));
 
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   if (latest_index_[c] - index >= static_cast<std::int64_t>(ring_size_)) {
     ++dropped_old_;  // pre-dates the retained ring entirely
     return;
@@ -84,7 +84,7 @@ std::pair<std::uint64_t, std::uint64_t> SloMonitor::window_counts_locked(
 
 double SloMonitor::bad_fraction(fed::PolicyClass cls, double window_s,
                                 double now) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const auto [bad, total] = window_counts_locked(cls, window_s, now);
   return total == 0 ? 0.0
                     : static_cast<double>(bad) / static_cast<double>(total);
@@ -97,12 +97,12 @@ double SloMonitor::burn_rate(fed::PolicyClass cls, double window_s,
 
 std::uint64_t SloMonitor::window_total(fed::PolicyClass cls, double window_s,
                                        double now) const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return window_counts_locked(cls, window_s, now).second;
 }
 
 std::uint64_t SloMonitor::dropped_old() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return dropped_old_;
 }
 

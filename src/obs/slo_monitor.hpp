@@ -27,10 +27,10 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "backend/flush_scheduler.hpp"
+#include "common/mutex.hpp"
 #include "fed/request.hpp"
 #include "obs/metrics.hpp"
 #include "serve/service_metrics.hpp"
@@ -56,24 +56,25 @@ class SloMonitor {
   explicit SloMonitor(SloConfig config = {});
 
   /// Book one served (or shed) request at its completion time. Thread-safe.
-  void record(const serve::ServiceRecord& record);
+  void record(const serve::ServiceRecord& record) EXCLUDES(mu_);
 
   /// Burn rate for `cls` over the trailing `window_s` ending at `now`;
   /// 0 when the window saw no requests.
   [[nodiscard]] double burn_rate(fed::PolicyClass cls, double window_s,
-                                 double now) const;
+                                 double now) const EXCLUDES(mu_);
   /// Fraction of bad requests in the trailing window (0 when empty).
   [[nodiscard]] double bad_fraction(fed::PolicyClass cls, double window_s,
-                                    double now) const;
+                                    double now) const EXCLUDES(mu_);
   /// Requests booked for `cls` over the trailing window.
   [[nodiscard]] std::uint64_t window_total(fed::PolicyClass cls,
-                                           double window_s, double now) const;
+                                           double window_s, double now) const
+      EXCLUDES(mu_);
   /// Records dropped because they pre-dated the entire retained ring.
-  [[nodiscard]] std::uint64_t dropped_old() const;
+  [[nodiscard]] std::uint64_t dropped_old() const EXCLUDES(mu_);
 
   /// Export burn-rate/bad-fraction gauges for every (class, window) pair
   /// at `now`, e.g. slo_burn_rate{class="P1",window="60"}.
-  void publish(MetricsRegistry& metrics, double now) const;
+  void publish(MetricsRegistry& metrics, double now) const EXCLUDES(mu_);
 
   /// Surface the flush scheduler's crash-consistency ledger as gauges
   /// (flush_dirty_bytes, flush_peak_dirty_bytes, flush_bytes_at_risk
@@ -92,17 +93,19 @@ class SloMonitor {
     std::uint64_t bad = 0;
   };
 
-  /// (bad, total) summed over the trailing window. Caller holds mu_.
+  /// (bad, total) summed over the trailing window.
   [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> window_counts_locked(
-      fed::PolicyClass cls, double window_s, double now) const;
+      fed::PolicyClass cls, double window_s, double now) const REQUIRES(mu_);
 
   SloConfig config_;
   std::size_t ring_size_ = 0;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// ring_[class][slot]; slot = absolute index % ring_size_.
-  std::array<std::vector<Bucket>, fed::kPolicyClassCount> ring_;
-  std::array<std::int64_t, fed::kPolicyClassCount> latest_index_{};
-  std::uint64_t dropped_old_ = 0;
+  std::array<std::vector<Bucket>, fed::kPolicyClassCount> ring_
+      GUARDED_BY(mu_);
+  std::array<std::int64_t, fed::kPolicyClassCount> latest_index_
+      GUARDED_BY(mu_){};
+  std::uint64_t dropped_old_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace flstore::obs

@@ -54,7 +54,7 @@ SpanId Tracer::begin(std::string name, std::string category, double start_s,
                      std::int64_t track) {
   const auto [in_scope, parent] = innermost_frame(this);
   if (in_scope && parent == kNoSpan) return kNoSpan;  // suppressed subtree
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   if (spans_.size() >= config_.max_spans) {
     ++dropped_;
     return kNoSpan;
@@ -75,7 +75,7 @@ SpanId Tracer::begin_detached(std::string name, std::string category,
                               double start_s, std::int64_t track) {
   const auto [in_scope, parent] = innermost_frame(this);
   if (in_scope && parent == kNoSpan) return kNoSpan;  // suppressed subtree
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   if (spans_.size() >= config_.max_spans) {
     ++dropped_;
     return kNoSpan;
@@ -106,7 +106,7 @@ TraceSpan* find_span(std::vector<TraceSpan>& spans, SpanId id) {
 
 void Tracer::end(SpanId id, double end_s) {
   if (id == kNoSpan) return;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   auto* span = find_span(spans_, id);
   FLSTORE_CHECK(span != nullptr);
   FLSTORE_CHECK(end_s >= span->start_s);
@@ -115,7 +115,7 @@ void Tracer::end(SpanId id, double end_s) {
 
 void Tracer::annotate(SpanId id, std::string key, std::string value) {
   if (id == kNoSpan) return;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   auto* span = find_span(spans_, id);
   FLSTORE_CHECK(span != nullptr);
   span->args.emplace_back(std::move(key), std::move(value));
@@ -125,14 +125,14 @@ void Tracer::instant(std::string name, std::string category, double at_s,
                      std::int64_t track) {
   const auto id = begin(std::move(name), std::move(category), at_s, track);
   if (id == kNoSpan) return;
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   find_span(spans_, id)->instant = true;
 }
 
 std::vector<TraceSpan> Tracer::spans() const {
   std::vector<TraceSpan> out;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     out = spans_;
   }
   std::sort(out.begin(), out.end(),
@@ -144,17 +144,17 @@ std::vector<TraceSpan> Tracer::spans() const {
 }
 
 std::size_t Tracer::span_count() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return spans_.size();
 }
 
 std::uint64_t Tracer::dropped() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return dropped_;
 }
 
 void Tracer::clear() {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   spans_.clear();
   dropped_ = 0;
 }

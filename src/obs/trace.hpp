@@ -26,10 +26,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace flstore::obs {
 
@@ -72,17 +73,17 @@ class Tracer {
   /// kNoSpan — and records nothing — under a suppressing scope or past the
   /// span cap.
   SpanId begin(std::string name, std::string category, double start_s,
-               std::int64_t track = 0);
+               std::int64_t track = 0) EXCLUDES(mu_);
   /// Same, but parentless even inside a scope: for work that outlives its
   /// requester (prefetch, async result write-back) and must not pretend to
   /// nest inside the request interval. Still suppressed with the scope.
   SpanId begin_detached(std::string name, std::string category, double start_s,
-                        std::int64_t track = 0);
-  void end(SpanId id, double end_s);
-  void annotate(SpanId id, std::string key, std::string value);
+                        std::int64_t track = 0) EXCLUDES(mu_);
+  void end(SpanId id, double end_s) EXCLUDES(mu_);
+  void annotate(SpanId id, std::string key, std::string value) EXCLUDES(mu_);
   /// Zero-duration marker (admission rejections, failovers).
   void instant(std::string name, std::string category, double at_s,
-               std::int64_t track = 0);
+               std::int64_t track = 0) EXCLUDES(mu_);
 
   /// RAII parent scope. Pushing kNoSpan *suppresses* every span opened
   /// below it (the unsampled-request path); pushing a real id parents them.
@@ -99,10 +100,10 @@ class Tracer {
 
   /// Snapshot sorted by (start_s, id) — deterministic across thread
   /// interleavings for deterministic span content.
-  [[nodiscard]] std::vector<TraceSpan> spans() const;
-  [[nodiscard]] std::size_t span_count() const;
-  [[nodiscard]] std::uint64_t dropped() const;
-  void clear();
+  [[nodiscard]] std::vector<TraceSpan> spans() const EXCLUDES(mu_);
+  [[nodiscard]] std::size_t span_count() const EXCLUDES(mu_);
+  [[nodiscard]] std::uint64_t dropped() const EXCLUDES(mu_);
+  void clear() EXCLUDES(mu_);
 
   /// Chrome trace-event JSON (the object form: {"traceEvents":[...]}).
   /// Spans export as "X" complete events with ts/dur in microseconds of
@@ -116,10 +117,10 @@ class Tracer {
   friend class Scope;
 
   Config config_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  SpanId next_id_ = 1;
-  std::uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  SpanId next_id_ GUARDED_BY(mu_) = 1;
+  std::uint64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 // Null-safe helpers: every instrumentation call site takes a Tracer* that

@@ -7,7 +7,7 @@ namespace flstore::serve {
 core::ColdFetchInterceptor::Fetched Coalescer::fetch(
     const std::string& object_name, backend::StorageBackend& cold,
     double now) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
 
   const auto it = inflight_.find(object_name);
   if (it != inflight_.end() && now >= it->second.start_s &&
@@ -64,7 +64,7 @@ core::ColdFetchInterceptor::Fetched Coalescer::fetch(
 }
 
 void Coalescer::reset() {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   inflight_.clear();
 }
 

@@ -23,10 +23,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "core/cold_fetch.hpp"
 #include "obs/trace.hpp"
 
@@ -57,17 +57,17 @@ class Coalescer final : public core::ColdFetchInterceptor {
   /// joining an in-flight fetch when one covers `now`.
   [[nodiscard]] core::ColdFetchInterceptor::Fetched fetch(
       const std::string& object_name, backend::StorageBackend& cold,
-      double now) override;
+      double now) override EXCLUDES(mu_);
 
-  [[nodiscard]] Stats stats() const {
-    const std::scoped_lock lock(mu_);
+  [[nodiscard]] Stats stats() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
     return stats_;
   }
 
   /// Drop all in-flight windows (e.g. between benchmark phases). The
   /// statistics are cumulative and unaffected — callers wanting per-phase
   /// numbers snapshot stats() around the phase (ShardedStore does).
-  void reset();
+  void reset() EXCLUDES(mu_);
 
   /// Emit "coalesce.lead"/"coalesce.join" spans on `tracer` (non-owning;
   /// nullptr disables). Lead spans cover the real transfer and parent the
@@ -85,10 +85,11 @@ class Coalescer final : public core::ColdFetchInterceptor {
   };
 
   Config config_;
+  /// Set-once wiring (add_tenant, before any traffic); unguarded by design.
   obs::Tracer* tracer_ = nullptr;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, InFlight> inflight_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, InFlight> inflight_ GUARDED_BY(mu_);
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace flstore::serve

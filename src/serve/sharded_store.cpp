@@ -77,13 +77,16 @@ JobId ShardedStore::add_tenant(const fed::FLJob& job,
   for (int i = 0; i < cache_shards; ++i) {
     auto cfg = store_config;
     cfg.backup_to_cold = store_config.backup_to_cold && i == 0;
+    // Wire the store fully before it moves behind the shard mutex, so no
+    // unlocked dereference of Shard::store ever exists.
+    auto store = std::make_unique<core::FLStore>(cfg, job, *cold_);
+    store->set_telemetry(config_.telemetry);
+    if (config_.coalesce_cold_fetches) {
+      store->set_cold_fetch_interceptor(coalescers_.back().get());
+    }
     auto shard = std::make_unique<Shard>();
     shard->tenant = id;
-    shard->store = std::make_unique<core::FLStore>(cfg, job, *cold_);
-    shard->store->set_telemetry(config_.telemetry);
-    if (config_.coalesce_cold_fetches) {
-      shard->store->set_cold_fetch_interceptor(coalescers_.back().get());
-    }
+    shard->store = std::move(store);
     tenant.shards.push_back(static_cast<int>(shards_.size()));
     shards_.push_back(std::move(shard));
   }
@@ -124,14 +127,14 @@ void ShardedStore::ingest_round(JobId tenant_id, const fed::RoundRecord& record,
                                 double now) {
   for (const auto global : tenant(tenant_id).shards) {
     auto& shard = *shards_[static_cast<std::size_t>(global)];
-    const std::scoped_lock lock(shard.mu);
+    const MutexLock lock(shard.mu);
     shard.store->ingest_round(record, now);
   }
 }
 
 core::ServeResult ShardedStore::serve(const ServiceRequest& req, double now) {
   auto& shard = *shards_[static_cast<std::size_t>(shard_for(req))];
-  const std::scoped_lock lock(shard.mu);
+  const MutexLock lock(shard.mu);
   return shard.store->serve(req.request, now);
 }
 
@@ -228,7 +231,7 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     }
     core::ServeResult res;
     {
-      const std::scoped_lock lock(shard.mu);
+      const MutexLock lock(shard.mu);
       res = shard.store->serve(req, start);
     }
     ServiceRecord rec;
@@ -464,7 +467,7 @@ ShardedStore::tenant_class_stats(JobId tenant_id) const {
       total{};
   for (const auto global : tenant(tenant_id).shards) {
     auto& shard = *shards_[static_cast<std::size_t>(global)];
-    const std::scoped_lock lock(shard.mu);
+    const MutexLock lock(shard.mu);
     for (std::size_t p = 0; p < core::CacheEngine::kPartitions; ++p) {
       const auto& s = shard.store->engine().class_stats(p);
       total[p].hits += s.hits;
@@ -490,7 +493,7 @@ ShardedStore::rebalance_tenant_partitions(JobId tenant_id,
       demand, total_per_shard, floor_per_shard);
   for (const auto global : tenant(tenant_id).shards) {
     auto& shard = *shards_[static_cast<std::size_t>(global)];
-    const std::scoped_lock lock(shard.mu);
+    const MutexLock lock(shard.mu);
     shard.store->set_class_capacity(budgets);
   }
   return budgets;
@@ -499,7 +502,11 @@ ShardedStore::rebalance_tenant_partitions(JobId tenant_id,
 backend::DirtyWindowStats ShardedStore::dirty_window_stats(double now) const {
   backend::DirtyWindowStats agg;
   for (const auto& t : tenants_) {
-    const auto& shard = *shards_[static_cast<std::size_t>(t.shards.front())];
+    auto& shard = *shards_[static_cast<std::size_t>(t.shards.front())];
+    // The primary shard may be mid-ingest on its tenant's timeline when a
+    // telemetry publish samples the window: take the shard lock like every
+    // other store access (this was a racy read before the annotation pass).
+    const MutexLock lock(shard.mu);
     const auto s = shard.store->flush_scheduler().dirty_window_stats(now);
     // Redundant samples of the one shared backend's window: max.
     agg.dirty_bytes = std::max(agg.dirty_bytes, s.dirty_bytes);
@@ -543,6 +550,7 @@ Coalescer::Stats ShardedStore::coalescer_stats() const {
 double ShardedStore::infrastructure_cost(double seconds) const {
   double usd = 0.0;
   for (const auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
     usd += shard->store->infrastructure_cost(seconds);
   }
   return usd;

@@ -10,7 +10,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -23,7 +23,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
@@ -31,8 +31,8 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   if (workers_.empty()) return;
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  const MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mu_);
 }
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
@@ -44,8 +44,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.wait(mu_);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -53,7 +53,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      const std::scoped_lock lock(mu_);
+      const MutexLock lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -6,13 +6,13 @@
 // state except internally synchronized components (ObjectStore, Coalescer).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace flstore::serve {
 
@@ -26,28 +26,28 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Block until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() EXCLUDES(mu_);
 
   /// Submit all of `tasks` and wait for them to finish.
-  void run_all(std::vector<std::function<void()>> tasks);
+  void run_all(std::vector<std::function<void()>> tasks) EXCLUDES(mu_);
 
   [[nodiscard]] int thread_count() const noexcept {
     return static_cast<int>(workers_.size());
   }
 
  private:
-  void worker_loop();
+  void worker_loop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace flstore::serve

@@ -1,0 +1,21 @@
+// Negative case: writing a GUARDED_BY member without holding its mutex
+// must be rejected by clang's -Wthread-safety (promoted to an error).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) { balance_ += amount; }  // no lock held
+
+ private:
+  flstore::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void probe() {
+  Account account;
+  account.deposit(1);
+}

@@ -1,0 +1,32 @@
+// Positive control: correct lock discipline must compile cleanly under
+// -Wthread-safety -Werror=thread-safety. If this case fails, the two
+// negative cases prove nothing.
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) EXCLUDES(mu_) {
+    const flstore::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  [[nodiscard]] int balance() const EXCLUDES(mu_) {
+    const flstore::MutexLock lock(mu_);
+    return balance_locked();
+  }
+
+ private:
+  [[nodiscard]] int balance_locked() const REQUIRES(mu_) { return balance_; }
+
+  mutable flstore::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int probe() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

@@ -1,0 +1,23 @@
+// Negative case: calling a REQUIRES(mu_) function without the lock held
+// must be rejected by clang's -Wthread-safety (promoted to an error).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void update() { bump(); }  // bump() requires mu_, which is not held
+
+ private:
+  void bump() REQUIRES(mu_) { ++entries_; }
+
+  flstore::Mutex mu_;
+  int entries_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+void probe() {
+  Ledger ledger;
+  ledger.update();
+}
