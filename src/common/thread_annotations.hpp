@@ -57,6 +57,8 @@
 /// first argument.
 #define TRY_ACQUIRE(...) \
   FLSTORE_TS_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  FLSTORE_TS_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
 
 /// Caller must NOT hold the mutex (the function acquires it itself); turns
 /// self-deadlock into a compile error.

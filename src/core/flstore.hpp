@@ -150,6 +150,10 @@ class FLStore {
   void set_telemetry(obs::Telemetry* telemetry);
 
   [[nodiscard]] const CacheEngine& engine() const noexcept { return *engine_; }
+  /// Mutable engine access for the serving plane's real-thread hot path
+  /// (ShardedStore::hot_get and friends, which guard it with the shard
+  /// lock). The sim-time serve()/ingest paths never need it.
+  [[nodiscard]] CacheEngine& engine() noexcept { return *engine_; }
   [[nodiscard]] const RequestTracker& tracker() const noexcept {
     return tracker_;
   }

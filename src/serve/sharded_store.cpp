@@ -87,6 +87,11 @@ JobId ShardedStore::add_tenant(const fed::FLJob& job,
     auto shard = std::make_unique<Shard>();
     shard->tenant = id;
     shard->store = std::move(store);
+    const auto n_stripes = std::max(config_.hot_path.stripes, 1);
+    shard->stripes.reserve(static_cast<std::size_t>(n_stripes));
+    for (int s = 0; s < n_stripes; ++s) {
+      shard->stripes.push_back(std::make_unique<Stripe>());
+    }
     tenant.shards.push_back(static_cast<int>(shards_.size()));
     shards_.push_back(std::move(shard));
   }
@@ -127,14 +132,14 @@ void ShardedStore::ingest_round(JobId tenant_id, const fed::RoundRecord& record,
                                 double now) {
   for (const auto global : tenant(tenant_id).shards) {
     auto& shard = *shards_[static_cast<std::size_t>(global)];
-    const MutexLock lock(shard.mu);
+    const WriterMutexLock lock(shard.mu);
     shard.store->ingest_round(record, now);
   }
 }
 
 core::ServeResult ShardedStore::serve(const ServiceRequest& req, double now) {
   auto& shard = *shards_[static_cast<std::size_t>(shard_for(req))];
-  const MutexLock lock(shard.mu);
+  const WriterMutexLock lock(shard.mu);
   return shard.store->serve(req.request, now);
 }
 
@@ -206,8 +211,7 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     scheds.assign(n_local, RequestScheduler(config_.scheduler));
   }
 
-  obs::Telemetry* const telemetry = config_.telemetry;
-  obs::Tracer* const tracer = obs::tracer_of(telemetry);
+  obs::Tracer* const tracer = obs::tracer_of(config_.telemetry);
 
   const auto serve_on = [&](std::size_t local,
                             const fed::NonTrainingRequest& req, double start) {
@@ -231,7 +235,7 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
     }
     core::ServeResult res;
     {
-      const MutexLock lock(shard.mu);
+      const WriterMutexLock lock(shard.mu);
       res = shard.store->serve(req, start);
     }
     ServiceRecord rec;
@@ -251,22 +255,11 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
       tracer->annotate(root, "request", std::to_string(req.id));
       tracer->end(root, rec.completion_s());
     }
-    if (telemetry != nullptr) {
-      const char* const cls = fed::to_string(rec.policy_class());
-      telemetry->metrics
-          .counter("serve_requests_total",
-                   {{obs::kLabelTenant, std::to_string(tenant.id)},
-                    {obs::kLabelClass, cls},
-                    {obs::kLabelShard, std::to_string(global)}})
-          .add();
-      telemetry->metrics
-          .histogram("serve_request_latency_s", {{obs::kLabelClass, cls}})
-          .observe(rec.latency_s());
-      telemetry->metrics
-          .histogram("serve_queue_wait_s", {{obs::kLabelClass, cls}})
-          .observe(rec.queue_s);
-      telemetry->slo.record(rec);
-    }
+    // Metrics/SLO booking happens once per run in book_telemetry(), off
+    // this parallel tenant timeline — every registry counter and the SLO
+    // monitor are cross-tenant shared state, and hashing label sets under
+    // their mutexes per request was measurable contention on the data
+    // path. Only the (sampled) tracer spans above stay inline.
     out.push_back(rec);
     return res;
   };
@@ -311,20 +304,11 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
           rec.request = ev.req.request;
           rec.rejected = true;
           rec.start_s = ev.time;
-          if (telemetry != nullptr) {
-            if (tracer->should_sample(ev.req.request.id)) {
-              tracer->instant("sched.reject", "serve", ev.time,
-                              tenant.shards[local]);
-            }
-            telemetry->metrics
-                .counter("serve_rejected_total",
-                         {{obs::kLabelTenant, std::to_string(tenant.id)},
-                          {obs::kLabelClass,
-                           fed::to_string(rec.policy_class())}})
-                .add();
-            telemetry->slo.record(rec);
+          if (tracer != nullptr && tracer->should_sample(ev.req.request.id)) {
+            tracer->instant("sched.reject", "serve", ev.time,
+                            tenant.shards[local]);
           }
-          out.push_back(rec);
+          out.push_back(rec);  // metrics/SLO booked in book_telemetry()
           if (closed != nullptr) {
             // The virtual user was shed, not absorbed: it backs off one
             // think interval and re-issues, so the closed-loop population
@@ -423,6 +407,12 @@ ServiceReport ShardedStore::run_all_tenants(
                            coalescer_before.fees_saved_usd,
                        coalescer_after.wait_saved_s -
                            coalescer_before.wait_saved_s};
+  // Single-threaded telemetry pass over the merged, canonically-sorted
+  // records: identical series values as the old per-request inline booking
+  // (counters sum, histograms bucket, and the SLO ring buckets by absolute
+  // completion time — all order-independent), but the parallel tenant
+  // timelines above never touched the shared registry/SLO mutexes.
+  book_telemetry(report);
   if (config_.telemetry != nullptr) {
     // Publish the autoscaler inputs at the run's end: burn-rate gauges from
     // everything recorded above, plus the shared cold tier's
@@ -461,13 +451,160 @@ ServiceReport ShardedStore::serve_closed_loop(
                          config.round_interval_s, &config, &mix);
 }
 
+void ShardedStore::book_telemetry(const ServiceReport& report) {
+  obs::Telemetry* const telemetry = config_.telemetry;
+  if (telemetry == nullptr) return;
+  for (const auto& rec : report.records) {
+    const char* const cls = fed::to_string(rec.policy_class());
+    if (rec.rejected) {
+      telemetry->metrics
+          .counter("serve_rejected_total",
+                   {{obs::kLabelTenant, std::to_string(rec.tenant)},
+                    {obs::kLabelClass, cls}})
+          .add();
+      telemetry->slo.record(rec);
+      continue;
+    }
+    telemetry->metrics
+        .counter("serve_requests_total",
+                 {{obs::kLabelTenant, std::to_string(rec.tenant)},
+                  {obs::kLabelClass, cls},
+                  {obs::kLabelShard, std::to_string(rec.shard)}})
+        .add();
+    telemetry->metrics
+        .histogram("serve_request_latency_s", {{obs::kLabelClass, cls}})
+        .observe(rec.latency_s());
+    telemetry->metrics
+        .histogram("serve_queue_wait_s", {{obs::kLabelClass, cls}})
+        .observe(rec.queue_s);
+    telemetry->slo.record(rec);
+  }
+}
+
+int ShardedStore::hot_shard_for(JobId tenant_id, const MetadataKey& key) const {
+  const auto& t = tenant(tenant_id);
+  return t.shards[MetadataKeyHash{}(key) % t.shards.size()];
+}
+
+bool ShardedStore::hot_get(JobId tenant_id, const MetadataKey& key, double now,
+                           int worker) {
+  auto& shard =
+      *shards_[static_cast<std::size_t>(hot_shard_for(tenant_id, key))];
+  obs::HotCounters* const counters = config_.hot_path.counters;
+  bool hit = false;
+  if (config_.hot_path.mode == HotPathMode::kExclusive) {
+    const WriterMutexLock lock(shard.mu);
+    hit = shard.store->engine().lookup(key, now).hit;
+  } else {
+    core::CacheEngine::ReadView view;
+    {
+      const ReaderMutexLock lock(shard.mu);
+      view = std::as_const(*shard.store).engine().read_only_lookup(key, now);
+    }
+    hit = view.hit;
+    // Bookkeeping goes to this worker's stripe; a full stripe swaps its
+    // batch out under the tiny stripe mutex and applies it to the engine
+    // under one writer acquisition (the batched cross-shard handoff).
+    std::vector<core::CacheEngine::DeferredAccess> batch;
+    auto& stripe = *shard.stripes[static_cast<std::size_t>(worker) %
+                                  shard.stripes.size()];
+    {
+      const MutexLock lock(stripe.mu);
+      auto& pending = stripe.pending;
+      if (!pending.empty() && pending.back().hit == hit &&
+          pending.back().key == key) {
+        ++pending.back().count;  // hot Zipf keys repeat back-to-back
+      } else {
+        pending.push_back({key, 1, hit});
+      }
+      if (pending.size() >=
+          static_cast<std::size_t>(std::max(config_.hot_path.drain_batch, 1))) {
+        batch.swap(pending);
+      }
+    }
+    if (!batch.empty()) drain_stripe_batch(shard, batch, worker);
+  }
+  if (counters != nullptr) {
+    counters->add(obs::HotCounters::kGets, worker);
+    counters->add(hit ? obs::HotCounters::kHits : obs::HotCounters::kMisses,
+                  worker);
+  }
+  return hit;
+}
+
+bool ShardedStore::hot_put(JobId tenant_id, const MetadataKey& key,
+                           units::Bytes bytes, double now, int worker) {
+  auto& shard =
+      *shards_[static_cast<std::size_t>(hot_shard_for(tenant_id, key))];
+  bool ok = false;
+  {
+    const WriterMutexLock lock(shard.mu);
+    ok = shard.store->engine().cache_object(key, std::make_shared<const Blob>(),
+                                            bytes, now);
+  }
+  if (auto* const counters = config_.hot_path.counters; counters != nullptr) {
+    counters->add(ok ? obs::HotCounters::kPuts : obs::HotCounters::kPutRejects,
+                  worker);
+  }
+  return ok;
+}
+
+bool ShardedStore::hot_evict(JobId tenant_id, const MetadataKey& key,
+                             int worker) {
+  auto& shard =
+      *shards_[static_cast<std::size_t>(hot_shard_for(tenant_id, key))];
+  bool evicted = false;
+  {
+    const WriterMutexLock lock(shard.mu);
+    evicted = shard.store->engine().evict(key);
+  }
+  if (auto* const counters = config_.hot_path.counters;
+      counters != nullptr && evicted) {
+    counters->add(obs::HotCounters::kEvicts, worker);
+  }
+  return evicted;
+}
+
+void ShardedStore::hot_sync() {
+  std::vector<core::CacheEngine::DeferredAccess> batch;
+  for (auto& shard : shards_) {
+    for (std::size_t s = 0; s < shard->stripes.size(); ++s) {
+      auto& stripe = *shard->stripes[s];
+      {
+        const MutexLock lock(stripe.mu);
+        batch.swap(stripe.pending);
+      }
+      if (!batch.empty()) {
+        drain_stripe_batch(*shard, batch, static_cast<int>(s));
+        batch.clear();
+      }
+    }
+  }
+}
+
+void ShardedStore::drain_stripe_batch(
+    Shard& shard, std::vector<core::CacheEngine::DeferredAccess>& batch,
+    int worker) {
+  {
+    const WriterMutexLock lock(shard.mu);
+    shard.store->engine().apply_deferred(batch);
+  }
+  if (auto* const counters = config_.hot_path.counters; counters != nullptr) {
+    std::uint64_t accesses = 0;
+    for (const auto& a : batch) accesses += a.count;
+    counters->add(obs::HotCounters::kDrains, worker);
+    counters->add(obs::HotCounters::kDrainedAccesses, worker, accesses);
+  }
+  batch.clear();
+}
+
 std::array<core::CacheEngine::ClassStats, core::CacheEngine::kPartitions>
 ShardedStore::tenant_class_stats(JobId tenant_id) const {
   std::array<core::CacheEngine::ClassStats, core::CacheEngine::kPartitions>
       total{};
   for (const auto global : tenant(tenant_id).shards) {
     auto& shard = *shards_[static_cast<std::size_t>(global)];
-    const MutexLock lock(shard.mu);
+    const WriterMutexLock lock(shard.mu);
     for (std::size_t p = 0; p < core::CacheEngine::kPartitions; ++p) {
       const auto& s = shard.store->engine().class_stats(p);
       total[p].hits += s.hits;
@@ -493,7 +630,7 @@ ShardedStore::rebalance_tenant_partitions(JobId tenant_id,
       demand, total_per_shard, floor_per_shard);
   for (const auto global : tenant(tenant_id).shards) {
     auto& shard = *shards_[static_cast<std::size_t>(global)];
-    const MutexLock lock(shard.mu);
+    const WriterMutexLock lock(shard.mu);
     shard.store->set_class_capacity(budgets);
   }
   return budgets;
@@ -506,7 +643,7 @@ backend::DirtyWindowStats ShardedStore::dirty_window_stats(double now) const {
     // The primary shard may be mid-ingest on its tenant's timeline when a
     // telemetry publish samples the window: take the shard lock like every
     // other store access (this was a racy read before the annotation pass).
-    const MutexLock lock(shard.mu);
+    const WriterMutexLock lock(shard.mu);
     const auto s = shard.store->flush_scheduler().dirty_window_stats(now);
     // Redundant samples of the one shared backend's window: max.
     agg.dirty_bytes = std::max(agg.dirty_bytes, s.dirty_bytes);
@@ -550,7 +687,7 @@ Coalescer::Stats ShardedStore::coalescer_stats() const {
 double ShardedStore::infrastructure_cost(double seconds) const {
   double usd = 0.0;
   for (const auto& shard : shards_) {
-    const MutexLock lock(shard->mu);
+    const WriterMutexLock lock(shard->mu);
     usd += shard->store->infrastructure_cost(seconds);
   }
   return usd;

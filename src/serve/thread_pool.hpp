@@ -38,6 +38,15 @@ class ThreadPool {
     return static_cast<int>(workers_.size());
   }
 
+  /// Barrier-started replicated run for the real-thread hot path: spawn
+  /// `threads` dedicated OS threads, hold them at a start line until all
+  /// have arrived, then run `fn(worker_index)` on each and join. The
+  /// barrier keeps the measured region genuinely concurrent — without it,
+  /// early threads finish their stream before late ones even start, and a
+  /// "16-thread" sweep measures mostly sequential execution.
+  static void run_replicated(int threads,
+                             const std::function<void(int)>& fn);
+
  private:
   void worker_loop() EXCLUDES(mu_);
 

@@ -16,7 +16,8 @@ clang-tidy can express:
                       so CI can harvest BENCH_*.json artifacts uniformly.
   mutex-annotation    src/ outside src/common/ must not declare raw
                       std::mutex / std::shared_mutex members (use the
-                      annotated flstore::Mutex shim), and every Mutex member
+                      annotated flstore::Mutex / flstore::SharedMutex
+                      shims), and every (Shared)Mutex member
                       must appear in at least one thread-safety annotation
                       (GUARDED_BY / PT_GUARDED_BY / REQUIRES / EXCLUDES /
                       ACQUIRE / RELEASE) in the same file — an unannotated
@@ -56,12 +57,12 @@ COUT_RE = re.compile(r"std::(cout|cerr)\b")
 RAW_MUTEX_RE = re.compile(r"\bstd::(shared_mutex|recursive_mutex|mutex)\b")
 
 MUTEX_MEMBER_RE = re.compile(
-    r"^\s*(?:mutable\s+)?(?:flstore::)?Mutex\s+(\w+)\s*;")
+    r"^\s*(?:mutable\s+)?(?:flstore::)?(?:Shared)?Mutex\s+(\w+)\s*;")
 
 ANNOTATION_MACROS = (
     "GUARDED_BY", "PT_GUARDED_BY", "REQUIRES", "REQUIRES_SHARED",
     "ACQUIRE", "ACQUIRE_SHARED", "RELEASE", "RELEASE_SHARED",
-    "TRY_ACQUIRE", "EXCLUDES", "RETURN_CAPABILITY",
+    "TRY_ACQUIRE", "TRY_ACQUIRE_SHARED", "EXCLUDES", "RETURN_CAPABILITY",
 )
 
 # The annotation layer itself declares the primitives it annotates.
@@ -152,13 +153,14 @@ def check_bench_json(root: pathlib.Path, findings: list[Finding]) -> None:
     bench = root / "bench"
     if not bench.is_dir():
         return
-    for path in sorted(bench.glob("fig*.cpp")):
+    sources = sorted(bench.glob("fig*.cpp")) + sorted(bench.glob("bench_*.cpp"))
+    for path in sources:
         rel = path.relative_to(root).as_posix()
         text = path.read_text(encoding="utf-8")
         if "parse_args" not in text:
             findings.append(Finding(
                 rel, 1, "bench-json",
-                "figure bench must call bench::parse_args(argc, argv) so "
+                "bench must call bench::parse_args(argc, argv) so "
                 "--json/--scale work and CI can harvest its artifact"))
 
 
