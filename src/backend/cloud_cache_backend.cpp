@@ -158,6 +158,13 @@ OpStats CloudCacheBackend::stats() const {
   return stats_;
 }
 
+bool CloudCacheBackend::set_throttle(const Throttle::Config& config,
+                                     double now) {
+  const MutexLock lock(mu_);
+  throttle_.set_config(config, now);
+  return true;
+}
+
 int CloudCacheBackend::nodes() const {
   const MutexLock lock(mu_);
   return nodes_;

@@ -51,6 +51,7 @@ class CloudCacheBackend final : public StorageBackend {
   }
   [[nodiscard]] std::string name() const override { return "cloud-cache"; }
   [[nodiscard]] OpStats stats() const override;
+  bool set_throttle(const Throttle::Config& config, double now) override;
 
   [[nodiscard]] int nodes() const;
   [[nodiscard]] std::uint64_t evictions() const;

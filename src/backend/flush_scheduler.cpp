@@ -45,10 +45,8 @@ void FlushScheduler::book_locked(const StorageBackend::FlushResult& r,
   ledger_.drain_fees_usd += r.request_fee_usd;
 }
 
-StorageBackend::FlushResult FlushScheduler::observe(double now,
-                                                    bool round_boundary) {
-  const MutexLock lock(mu_);
-  StorageBackend::FlushResult total;
+StorageBackend::DirtyWindow FlushScheduler::fire_age_deadlines_locked(
+    double now, StorageBackend::FlushResult& total) {
   auto window = backend_->dirty_window();
   if (policy_.max_dirty_age_s > 0.0) {
     // Every deadline that expired before `now` fires retroactively at the
@@ -72,22 +70,55 @@ StorageBackend::FlushResult FlushScheduler::observe(double now,
       window = next;
     }
   }
-  advance_locked(now, window);
-  if (policy_.max_dirty_bytes > 0) {
-    while (window.objects > 0 && window.bytes >= policy_.max_dirty_bytes) {
-      const auto drained =
-          backend_->flush_window(now, now, policy_.max_drain_objects);
-      book_locked(drained, &DirtyWindowStats::byte_flushes, total);
-      const auto next = backend_->dirty_window();
-      if (next.objects == window.objects) break;  // durable tier refusing
-      window = next;
-    }
+  return window;
+}
+
+void FlushScheduler::fire_byte_threshold_locked(
+    double now, StorageBackend::DirtyWindow& window,
+    StorageBackend::FlushResult& total) {
+  if (policy_.max_dirty_bytes == 0) return;
+  while (window.objects > 0 && window.bytes >= policy_.max_dirty_bytes) {
+    const auto drained =
+        backend_->flush_window(now, now, policy_.max_drain_objects);
+    book_locked(drained, &DirtyWindowStats::byte_flushes, total);
+    const auto next = backend_->dirty_window();
+    if (next.objects == window.objects) break;  // durable tier refusing
+    window = next;
   }
+}
+
+StorageBackend::FlushResult FlushScheduler::observe(double now,
+                                                    bool round_boundary) {
+  const MutexLock lock(mu_);
+  StorageBackend::FlushResult total;
+  auto window = fire_age_deadlines_locked(now, total);
+  advance_locked(now, window);
+  fire_byte_threshold_locked(now, window, total);
   if (round_boundary && policy_.flush_on_round_boundary) {
     const auto drained = backend_->flush(now);
     book_locked(drained, &DirtyWindowStats::round_flushes, total);
     window = backend_->dirty_window();
   }
+  advance_locked(now, window);
+  return total;
+}
+
+StorageBackend::FlushResult FlushScheduler::set_policy(
+    double now, const FlushPolicy& policy) {
+  const MutexLock lock(mu_);
+  StorageBackend::FlushResult total;
+  // Phase 1 — close out the old policy: deadlines it let expire fire
+  // retroactively, stamped at their deadlines, before the swap can be
+  // observed. A switch never relaxes a bound that was already violated.
+  auto window = fire_age_deadlines_locked(now, total);
+  advance_locked(now, window);
+  policy_ = policy;
+  // Phase 2 — the new policy takes effect at the switch instant: a tighter
+  // age bound fires overdue deadlines (clamped to `now` via last_sample_s_,
+  // which phase 1 advanced — the new daemon cannot have woken earlier than
+  // it was installed), and a tighter byte threshold drains immediately.
+  window = fire_age_deadlines_locked(now, total);
+  fire_byte_threshold_locked(now, window, total);
   advance_locked(now, window);
   return total;
 }

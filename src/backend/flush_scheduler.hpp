@@ -111,13 +111,30 @@ class FlushScheduler {
   /// their last flushed version) and the losses are booked to the ledger.
   StorageBackend::CrashResult crash(double now) EXCLUDES(mu_);
 
+  /// Live re-policy at simulated time `now` (the control plane swapping to
+  /// a shed/defer policy when bytes-at-risk spikes, and back). Two-phase so
+  /// neither policy's contract is violated across the switch: first any age
+  /// deadlines the *old* policy let expire fire retroactively, stamped at
+  /// their deadlines (switching can never relax a bound that was already
+  /// violated); then the *new* policy is evaluated at the switch instant
+  /// itself — a tighter age bound fires its overdue deadlines at `now`, a
+  /// tighter byte threshold drains at `now` — so the swap takes effect
+  /// immediately instead of at the next ingest observation. The ledger and
+  /// the bytes-at-risk integral run continuously through the switch.
+  /// Returns the aggregate drain the switch triggered (often empty).
+  StorageBackend::FlushResult set_policy(double now, const FlushPolicy& policy)
+      EXCLUDES(mu_);
+
   /// Ledger snapshot with the current window sampled at `now` (peaks and
   /// the integral include the un-booked gap since the last observation;
   /// nothing is mutated).
   [[nodiscard]] DirtyWindowStats dirty_window_stats(double now) const
       EXCLUDES(mu_);
 
-  [[nodiscard]] const FlushPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] FlushPolicy policy() const EXCLUDES(mu_) {
+    const MutexLock lock(mu_);
+    return policy_;
+  }
 
  private:
   /// Advance the sampled timeline to `to` given the window `w` observed
@@ -131,8 +148,20 @@ class FlushScheduler {
                    std::uint64_t DirtyWindowStats::* trigger,
                    StorageBackend::FlushResult& total) REQUIRES(mu_);
 
+  /// Fire every expired age deadline retroactively (stamped at the
+  /// deadline) under the current policy_; returns the post-drain window.
+  StorageBackend::DirtyWindow fire_age_deadlines_locked(
+      double now, StorageBackend::FlushResult& total) REQUIRES(mu_);
+
+  /// Drain while the window is at or over the current byte threshold
+  /// (slice-bounded); `window` tracks the post-drain state.
+  void fire_byte_threshold_locked(double now,
+                                  StorageBackend::DirtyWindow& window,
+                                  StorageBackend::FlushResult& total)
+      REQUIRES(mu_);
+
   StorageBackend* backend_;
-  FlushPolicy policy_;
+  FlushPolicy policy_ GUARDED_BY(mu_);
   mutable Mutex mu_;
   DirtyWindowStats ledger_ GUARDED_BY(mu_);
   double last_sample_s_ GUARDED_BY(mu_) = 0.0;

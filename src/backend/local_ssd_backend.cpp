@@ -125,6 +125,13 @@ OpStats LocalSsdBackend::stats() const {
   return stats_;
 }
 
+bool LocalSsdBackend::set_throttle(const Throttle::Config& config,
+                                   double now) {
+  const MutexLock lock(mu_);
+  throttle_.set_config(config, now);
+  return true;
+}
+
 int LocalSsdBackend::devices() const {
   const MutexLock lock(mu_);
   return devices_;

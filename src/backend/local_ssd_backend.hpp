@@ -47,6 +47,7 @@ class LocalSsdBackend final : public StorageBackend {
   }
   [[nodiscard]] std::string name() const override { return "local-ssd"; }
   [[nodiscard]] OpStats stats() const override;
+  bool set_throttle(const Throttle::Config& config, double now) override;
 
   [[nodiscard]] int devices() const;
 

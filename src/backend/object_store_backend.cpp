@@ -90,4 +90,11 @@ OpStats ObjectStoreBackend::stats() const {
   return stats_;
 }
 
+bool ObjectStoreBackend::set_throttle(const Throttle::Config& config,
+                                      double now) {
+  const MutexLock lock(mu_);
+  throttle_.set_config(config, now);
+  return true;
+}
+
 }  // namespace flstore::backend

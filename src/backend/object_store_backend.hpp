@@ -48,6 +48,7 @@ class ObjectStoreBackend final : public StorageBackend {
   }
   [[nodiscard]] std::string name() const override { return "object-store"; }
   [[nodiscard]] OpStats stats() const override;
+  bool set_throttle(const Throttle::Config& config, double now) override;
 
   [[nodiscard]] ObjectStore& store() noexcept { return *store_; }
 

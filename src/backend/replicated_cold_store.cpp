@@ -500,6 +500,15 @@ OpStats ReplicatedColdStore::stats() const {
   return stats_;
 }
 
+bool ReplicatedColdStore::set_throttle(const Throttle::Config& config,
+                                       double now) {
+  bool any = false;
+  for (auto& region : regions_) {
+    any = region.resolved->set_throttle(config, now) || any;
+  }
+  return any;
+}
+
 double ReplicatedColdStore::egress_fees_usd() const {
   const MutexLock lock(mu_);
   return egress_fees_usd_;

@@ -125,6 +125,10 @@ class ReplicatedColdStore final : public StorageBackend {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] OpStats stats() const override;
 
+  /// Forwarded to every region's backend (the control plane re-provisions
+  /// the fleet as one); true when at least one region applied it.
+  bool set_throttle(const Throttle::Config& config, double now) override;
+
   /// Replace the outage schedule (windows may arrive unsorted).
   void set_outages(std::vector<OutageWindow> outages);
   [[nodiscard]] bool in_outage(std::size_t region, double now) const;

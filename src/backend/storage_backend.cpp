@@ -18,6 +18,33 @@ double Throttle::admit(double now) {
   return -tokens_ / config_.ops_per_s;
 }
 
+void Throttle::set_config(Config config, double now) {
+  if (!enabled()) {
+    // Was unthrottled: start a fresh bucket at full burst from `now`.
+    config_ = config;
+    tokens_ = config.burst_ops;
+    last_s_ = std::max(last_s_, now);
+    return;
+  }
+  // Settle accrual under the old rate up to `now` first, so the retune
+  // cannot retroactively change admissions that already happened.
+  if (now > last_s_) {
+    tokens_ = std::min(config_.burst_ops,
+                       tokens_ + (now - last_s_) * config_.ops_per_s);
+    last_s_ = now;
+  }
+  if (config.ops_per_s <= 0.0) {
+    config_ = config;  // throttle off: queued debt is forgiven
+    tokens_ = config.burst_ops;
+    return;
+  }
+  // Debt stays op-denominated: the queued backlog drains at the *new*
+  // rate (a faster endpoint clears it sooner; a slower one takes longer).
+  // Only accrued credit clamps to the new burst.
+  config_ = config;
+  tokens_ = std::min(tokens_, config_.burst_ops);
+}
+
 BatchPutResult StorageBackend::put_batch(std::vector<PutRequest> batch,
                                          double now) {
   BatchPutResult res;

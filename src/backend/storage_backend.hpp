@@ -127,6 +127,16 @@ class Throttle {
   /// available). The clock never runs backwards inside the bucket.
   double admit(double now);
 
+  /// Live retune (the control plane re-provisioning IOPS mid-run). Accrual
+  /// settles under the old rate first (the retune cannot retroactively
+  /// change past admissions); accrued tokens carry over clamped to the new
+  /// burst; a bucket in debt keeps its debt in *ops*, so the queued
+  /// backlog drains at the new rate — exactly as a provisioned endpoint
+  /// behaves after a capacity change. Turning the throttle off
+  /// (ops_per_s = 0) forgives the queue — there is no rate to owe against.
+  void set_config(Config config, double now);
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] bool enabled() const noexcept { return config_.ops_per_s > 0; }
 
  private:
@@ -249,6 +259,17 @@ class StorageBackend {
   /// GB-month storage, cache node-hours, SSD device-hours. Request fees are
   /// returned per op, never here.
   [[nodiscard]] virtual double idle_cost(double seconds) const = 0;
+
+  /// Live throttle retune at simulated time `now` (the control plane's
+  /// provisioned-IOPS knob). Returns true when the backend (or at least one
+  /// tier/region of a composition) applied it; backends without an
+  /// admission throttle return false and change nothing. Token/debt
+  /// carry-over semantics are Throttle::set_config's.
+  virtual bool set_throttle(const Throttle::Config& config, double now) {
+    (void)config;
+    (void)now;
+    return false;
+  }
 
   [[nodiscard]] virtual BackendKind kind() const noexcept = 0;
   [[nodiscard]] virtual std::string name() const = 0;

@@ -319,6 +319,13 @@ OpStats TieredColdStore::stats() const {
   return stats_;
 }
 
+bool TieredColdStore::set_throttle(const Throttle::Config& config,
+                                   double now) {
+  bool any = false;
+  for (auto* const tier : tiers_) any = tier->set_throttle(config, now) || any;
+  return any;
+}
+
 StorageBackend::FlushResult TieredColdStore::flush(double now) {
   return flush_window(now, std::numeric_limits<double>::infinity(), 0);
 }

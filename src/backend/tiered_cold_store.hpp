@@ -73,6 +73,10 @@ class TieredColdStore final : public StorageBackend {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] OpStats stats() const override;
 
+  /// Forwarded to every tier (a provisioned-rate change re-provisions the
+  /// whole stack); true when at least one tier applied it.
+  bool set_throttle(const Throttle::Config& config, double now) override;
+
   /// Write-back only: make dirty objects durable in the deepest tier (one
   /// batched multi-put; middle tiers refill via promotion). Objects the
   /// deepest tier refuses stay dirty for the next flush. Returns the

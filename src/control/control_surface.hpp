@@ -1,0 +1,69 @@
+// ControlSurface — the actuator contract between the controller and the
+// serving plane.
+//
+// Every capacity knob the system exposes is reachable through exactly this
+// interface: shard count (scale-out/in), per-class cache budgets, the cold
+// tier's token bucket, the write-back flush policy, and scheduler
+// admission. The controller holds a ControlSurface&, never a ShardedStore&,
+// so its decision logic is testable against a recording fake and the
+// serving plane can evolve behind the seam.
+//
+// Contract for implementations (see CONTRIBUTING.md "Adding an actuator"):
+//  * Calls arrive only between run windows — the plane is quiescent, no
+//    run is in flight. Implementations may take shard locks but must not
+//    assume exclusive ownership beyond the call.
+//  * Every setter takes effect on the *next* window; getters reflect the
+//    most recent set (or the plane's initial state).
+//  * Setters must be idempotent: re-applying the current value is a no-op
+//    the controller is allowed to issue.
+//  * `now` parameters are simulated seconds; implementations must settle
+//    any time-dependent state (token accrual, retroactive flush deadlines)
+//    at `now` before applying the new value.
+#pragma once
+
+#include <array>
+
+#include "backend/flush_scheduler.hpp"
+#include "backend/storage_backend.hpp"
+#include "common/units.hpp"
+#include "fed/request.hpp"
+#include "serve/scheduler.hpp"
+
+namespace flstore::control {
+
+class ControlSurface {
+ public:
+  virtual ~ControlSurface() = default;
+
+  // Elastic capacity.
+  [[nodiscard]] virtual int shard_count() const = 0;
+  /// Scale the serving fleet to `target` shards (clamped to >= 1 by the
+  /// plane; the primary never retires). Returns the resulting count.
+  virtual int set_shard_count(int target, double now) = 0;
+
+  // Per-class cache budgets.
+  virtual void set_class_budgets(
+      const std::array<units::Bytes, fed::kPolicyClassCount>& budgets,
+      double now) = 0;
+
+  // Cold-tier token bucket.
+  [[nodiscard]] virtual backend::Throttle::Config throttle() const = 0;
+  /// Returns false when the backend exposes no throttle to retune.
+  virtual bool set_throttle(const backend::Throttle::Config& config,
+                            double now) = 0;
+
+  // Write-back flush policy.
+  [[nodiscard]] virtual backend::FlushPolicy flush_policy() const = 0;
+  virtual void set_flush_policy(double now,
+                                const backend::FlushPolicy& policy) = 0;
+
+  // Scheduler admission.
+  [[nodiscard]] virtual serve::SchedulerConfig scheduler_config() const = 0;
+  virtual void set_scheduler_config(const serve::SchedulerConfig& config) = 0;
+
+  /// Keep-alive bill of the currently warm fleet, $/hour — what scale-in
+  /// saves.
+  [[nodiscard]] virtual double idle_usd_per_hour() const = 0;
+};
+
+}  // namespace flstore::control

@@ -1,0 +1,78 @@
+// ShardedSurface — the ControlSurface over one tenant of a ShardedStore.
+//
+// Binds every actuator the serving plane grew to the surface contract:
+// shard count → ShardedStore::set_tenant_shards (live re-homing), class
+// budgets → set_tenant_class_budgets, throttle → the shared cold tier's
+// token bucket, flush policy → every primary FlushScheduler's two-phase
+// set_policy, admission → the plane's scheduler config.
+//
+// The throttle getter reports the config this surface last applied (seeded
+// by the constructor argument): backends deliberately do not expose their
+// bucket's internals, and the controller only ever needs its own desired
+// state back.
+#pragma once
+
+#include "control/control_surface.hpp"
+#include "serve/sharded_store.hpp"
+
+namespace flstore::control {
+
+class ShardedSurface final : public ControlSurface {
+ public:
+  /// `initial_throttle` must describe the throttle the cold tier was built
+  /// with (Config{} = unthrottled); the surface cannot read it back.
+  ShardedSurface(serve::ShardedStore& store, JobId tenant,
+                 backend::Throttle::Config initial_throttle = {})
+      : store_(&store), tenant_(tenant), throttle_(initial_throttle) {}
+
+  [[nodiscard]] int shard_count() const override {
+    return store_->tenant_shard_count(tenant_);
+  }
+  int set_shard_count(int target, double now) override {
+    return store_->set_tenant_shards(tenant_, target, now);
+  }
+
+  void set_class_budgets(
+      const std::array<units::Bytes, fed::kPolicyClassCount>& budgets,
+      double /*now*/) override {
+    store_->set_tenant_class_budgets(tenant_, budgets);
+  }
+
+  [[nodiscard]] backend::Throttle::Config throttle() const override {
+    return throttle_;
+  }
+  bool set_throttle(const backend::Throttle::Config& config,
+                    double now) override {
+    if (!store_->set_cold_throttle(config, now)) return false;
+    throttle_ = config;
+    return true;
+  }
+
+  [[nodiscard]] backend::FlushPolicy flush_policy() const override {
+    return store_->shard(store_->tenant_primary_shard(tenant_))
+        .flush_scheduler()
+        .policy();
+  }
+  void set_flush_policy(double now,
+                        const backend::FlushPolicy& policy) override {
+    (void)store_->set_flush_policy(now, policy);
+  }
+
+  [[nodiscard]] serve::SchedulerConfig scheduler_config() const override {
+    return store_->scheduler_config();
+  }
+  void set_scheduler_config(const serve::SchedulerConfig& config) override {
+    store_->set_scheduler_config(config);
+  }
+
+  [[nodiscard]] double idle_usd_per_hour() const override {
+    return store_->infrastructure_cost(3600.0);
+  }
+
+ private:
+  serve::ShardedStore* store_;
+  JobId tenant_;
+  backend::Throttle::Config throttle_;
+};
+
+}  // namespace flstore::control

@@ -1,0 +1,15 @@
+#include "control/sizing_oracle.hpp"
+
+namespace flstore::control {
+
+int PlannerSizingOracle::serving_shards(double offered_qps,
+                                        double mean_service_s) const {
+  core::ServingPlanRequest req;
+  req.offered_qps = offered_qps;
+  req.per_request_service_s = mean_service_s;
+  req.target_utilization = config_.target_utilization;
+  req.max_shards = config_.max_shards;
+  return static_cast<int>(core::plan_serving(req).shards);
+}
+
+}  // namespace flstore::control

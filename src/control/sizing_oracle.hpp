@@ -1,0 +1,45 @@
+// SizingOracle — "how many shards should we be running?", answered from
+// observed load.
+//
+// The capacity planner (core/capacity_planner.hpp) is the repo's sizing
+// arithmetic; this seam puts it behind one interface so the controller's
+// scaling decisions can be tested against a stub oracle and the arithmetic
+// can grow (per-class utilization targets, warm-up penalties) without the
+// controller changing.
+#pragma once
+
+#include "core/capacity_planner.hpp"
+
+namespace flstore::control {
+
+class SizingOracle {
+ public:
+  virtual ~SizingOracle() = default;
+
+  /// Shards the observed load wants: `offered_qps` arrivals/s, each
+  /// holding a server for `mean_service_s`. Must return >= 1 and be a
+  /// pure function of its arguments (controller determinism rests on it).
+  [[nodiscard]] virtual int serving_shards(double offered_qps,
+                                           double mean_service_s) const = 0;
+};
+
+/// The default oracle: core::plan_serving's M/M/c-style provisioning at a
+/// configured per-shard utilization target.
+class PlannerSizingOracle final : public SizingOracle {
+ public:
+  struct Config {
+    double target_utilization = 0.7;
+    int max_shards = 8;
+  };
+
+  PlannerSizingOracle() : PlannerSizingOracle(Config{}) {}
+  explicit PlannerSizingOracle(Config config) : config_(config) {}
+
+  [[nodiscard]] int serving_shards(double offered_qps,
+                                   double mean_service_s) const override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace flstore::control

@@ -1,0 +1,85 @@
+// TelemetrySnapshot — the control plane's one input: a consistent, purely
+// numeric view of the serving plane at a control-tick boundary.
+//
+// The controller never reaches into live subsystems; the control loop
+// assembles this struct from the ledgers the previous PRs built (SLO
+// burn-rate ring, scheduler admission ledgers, cache class partitions,
+// flush scheduler's dirty window, backend op stats) and hands it to
+// Controller::tick. Everything the controller decides is a deterministic
+// function of (snapshot, controller state) — identical snapshots produce
+// identical action sequences, which is what makes the loop testable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "fed/request.hpp"
+
+namespace flstore::control {
+
+/// One P1–P4 class's signals over the last tick.
+struct ClassSignal {
+  double burn_rate_fast = 0.0;  ///< SLO burn over the shortest window
+  double burn_rate_slow = 0.0;  ///< SLO burn over the longest window
+  std::uint64_t window_requests = 0;  ///< requests in the fast window
+  double hit_rate = 0.0;              ///< cumulative class hits/(hits+misses)
+  units::Bytes resident_bytes = 0;    ///< bytes resident in the partition
+  units::Bytes budget_bytes = 0;      ///< current partition budget
+  std::uint64_t admitted = 0;         ///< scheduler admissions this tick
+  std::uint64_t admission_rejects = 0;  ///< scheduler sheds this tick
+  std::size_t queue_depth_peak = 0;     ///< worst single-shard backlog
+};
+
+struct TelemetrySnapshot {
+  double now_s = 0.0;            ///< tick boundary (end of the window)
+  double tick_interval_s = 0.0;  ///< window length
+
+  std::array<ClassSignal, fed::kPolicyClassCount> classes{};
+
+  // Aggregate serving outcome of the tick.
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double offered_qps = 0.0;     ///< (completed + rejected) / tick
+  double mean_service_s = 0.0;  ///< mean comm+comp of completed requests
+
+  // Durability exposure (flush scheduler ledger at now_s).
+  units::Bytes dirty_bytes = 0;
+  units::Bytes peak_dirty_bytes = 0;
+  double oldest_dirty_age_s = 0.0;
+  double bytes_at_risk_integral = 0.0;  ///< byte-seconds at risk, cumulative
+  std::uint64_t refused_drains = 0;
+
+  // Cold-tier pressure, as deltas over the tick (the loop differences the
+  // backend's cumulative OpStats).
+  std::uint64_t throttled_ops = 0;
+  std::uint64_t rejected_puts = 0;
+  double throttle_wait_s = 0.0;  ///< latency the token bucket added
+
+  // Capacity currently deployed.
+  int active_shards = 0;
+  double idle_usd_per_hour = 0.0;  ///< keep-alive bill of the warm fleet
+
+  /// Highest fast-window burn across classes that actually saw traffic.
+  [[nodiscard]] double max_burn_fast() const noexcept {
+    double burn = 0.0;
+    for (const auto& c : classes) {
+      if (c.window_requests > 0 && c.burn_rate_fast > burn) {
+        burn = c.burn_rate_fast;
+      }
+    }
+    return burn;
+  }
+  /// Highest slow-window burn across classes that saw traffic.
+  [[nodiscard]] double max_burn_slow() const noexcept {
+    double burn = 0.0;
+    for (const auto& c : classes) {
+      if (c.window_requests > 0 && c.burn_rate_slow > burn) {
+        burn = c.burn_rate_slow;
+      }
+    }
+    return burn;
+  }
+};
+
+}  // namespace flstore::control

@@ -306,6 +306,20 @@ void CacheEngine::set_class_capacity(
   }
 }
 
+std::vector<CacheEngine::ResidentEntry> CacheEngine::resident_entries() const {
+  std::vector<ResidentEntry> entries;
+  entries.reserve(index_.size());
+  for (const auto& [key, e] : index_) {
+    entries.push_back(ResidentEntry{key, e.logical_bytes, e.pinned,
+                                    e.partition});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ResidentEntry& a, const ResidentEntry& b) {
+              return a.key < b.key;
+            });
+  return entries;
+}
+
 std::size_t CacheEngine::drop_group(GroupId group) {
   std::size_t dropped = 0;
   for (auto it = index_.begin(); it != index_.end();) {

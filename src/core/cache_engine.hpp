@@ -205,6 +205,22 @@ class CacheEngine {
   void set_class_capacity(
       const std::array<units::Bytes, fed::kPolicyClassCount>& budgets);
 
+  /// One resident entry as seen by a re-homing pass: everything a
+  /// re-insert into another shard's engine needs (the blob itself comes
+  /// from read_only_lookup so the pool read stays on the normal path).
+  struct ResidentEntry {
+    MetadataKey key;
+    units::Bytes logical_bytes = 0;
+    bool pinned = false;
+    std::uint8_t partition = kSharedPartition;
+  };
+  /// Deterministic enumeration of every resident entry, sorted by key —
+  /// the serving plane's shard scale-out/in re-homes entries whose hash
+  /// routing changed, and the sorted order keeps the move sequence (and
+  /// therefore any capacity evictions it triggers) independent of hash-map
+  /// iteration order.
+  [[nodiscard]] std::vector<ResidentEntry> resident_entries() const;
+
   /// Fault path: a pool group died; drop every index entry it held.
   /// Returns the number of objects lost.
   std::size_t drop_group(GroupId group);

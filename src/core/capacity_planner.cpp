@@ -1,5 +1,6 @@
 #include "core/capacity_planner.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -62,6 +63,20 @@ CapacityPlan plan_tailored_cache(const CapacityRequest& req,
            fed::kMetricsLogicalBytes +
        fed::kRoundInfoLogicalBytes);
   return finish_plan(updates + aggregates + metadata, req);
+}
+
+ServingPlan plan_serving(const ServingPlanRequest& req) {
+  FLSTORE_CHECK(req.offered_qps >= 0.0);
+  FLSTORE_CHECK(req.per_request_service_s >= 0.0);
+  FLSTORE_CHECK(req.target_utilization > 0.0 && req.target_utilization <= 1.0);
+  ServingPlan plan;
+  const double demand = req.offered_qps * req.per_request_service_s;
+  plan.shards = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(demand / req.target_utilization)));
+  if (req.max_shards > 0) plan.shards = std::min(plan.shards, req.max_shards);
+  plan.utilization = demand / static_cast<double>(plan.shards);
+  return plan;
 }
 
 }  // namespace flstore::core

@@ -190,4 +190,9 @@ backend::OpStats InstrumentedBackend::stats() const {
   return inner_->stats();
 }
 
+bool InstrumentedBackend::set_throttle(const backend::Throttle::Config& config,
+                                       double now) {
+  return inner_->set_throttle(config, now);
+}
+
 }  // namespace flstore::obs

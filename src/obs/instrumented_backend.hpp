@@ -64,6 +64,8 @@ class InstrumentedBackend final : public backend::StorageBackend {
   [[nodiscard]] backend::BackendKind kind() const noexcept override;
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] backend::OpStats stats() const override;
+  bool set_throttle(const backend::Throttle::Config& config,
+                    double now) override;
 
   [[nodiscard]] backend::StorageBackend& inner() noexcept { return *inner_; }
 

@@ -106,6 +106,30 @@ std::uint64_t SloMonitor::dropped_old() const {
   return dropped_old_;
 }
 
+SloMonitor::BurnSnapshot SloMonitor::snapshot(double now) const {
+  BurnSnapshot snap;
+  snap.now_s = now;
+  snap.windows_s = config_.windows_s;
+  const double budget = 1.0 - config_.good_fraction;
+  const MutexLock lock(mu_);
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    const auto cls = static_cast<fed::PolicyClass>(c);
+    snap.burn_rate[c].reserve(snap.windows_s.size());
+    snap.bad_fraction[c].reserve(snap.windows_s.size());
+    snap.window_requests[c].reserve(snap.windows_s.size());
+    for (const double window : snap.windows_s) {
+      const auto [bad, total] = window_counts_locked(cls, window, now);
+      const double fraction =
+          total == 0 ? 0.0
+                     : static_cast<double>(bad) / static_cast<double>(total);
+      snap.bad_fraction[c].push_back(fraction);
+      snap.burn_rate[c].push_back(fraction / budget);
+      snap.window_requests[c].push_back(total);
+    }
+  }
+  return snap;
+}
+
 void SloMonitor::publish(MetricsRegistry& metrics, double now) const {
   constexpr fed::PolicyClass kClasses[] = {
       fed::PolicyClass::kP1, fed::PolicyClass::kP2, fed::PolicyClass::kP3,

@@ -76,6 +76,21 @@ class SloMonitor {
   /// at `now`, e.g. slo_burn_rate{class="P1",window="60"}.
   void publish(MetricsRegistry& metrics, double now) const EXCLUDES(mu_);
 
+  /// Structured export of everything publish() writes as gauges — the
+  /// control plane's snapshot form. burn_rate[c][w] pairs class index `c`
+  /// (fed::class_index) with windows_s[w]; all (class, window) cells are
+  /// sampled under one lock acquisition, so the snapshot is a consistent
+  /// read of the ring at `now`.
+  struct BurnSnapshot {
+    double now_s = 0.0;
+    std::vector<double> windows_s;  ///< copy of config().windows_s
+    std::array<std::vector<double>, fed::kPolicyClassCount> burn_rate{};
+    std::array<std::vector<double>, fed::kPolicyClassCount> bad_fraction{};
+    std::array<std::vector<std::uint64_t>, fed::kPolicyClassCount>
+        window_requests{};
+  };
+  [[nodiscard]] BurnSnapshot snapshot(double now) const EXCLUDES(mu_);
+
   /// Surface the flush scheduler's crash-consistency ledger as gauges
   /// (flush_dirty_bytes, flush_peak_dirty_bytes, flush_bytes_at_risk
   /// integral, flush_oldest_dirty_age_s, flush_lost_bytes) — the

@@ -1,5 +1,7 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace flstore::serve {
@@ -20,15 +22,20 @@ constexpr std::array<std::size_t, fed::kPolicyClassCount> kStaticOrder = {
 RequestScheduler::RequestScheduler(SchedulerConfig config) : config_(config) {}
 
 bool RequestScheduler::admit(const fed::NonTrainingRequest& req, double now) {
-  auto& queue = queues_[fed::class_index(fed::policy_class_for(req.type))];
+  const auto c = fed::class_index(fed::policy_class_for(req.type));
+  auto& queue = queues_[c];
   if (config_.class_queue_limit > 0 &&
       queue.size() >= config_.class_queue_limit) {
     ++rejected_;
+    ++class_stats_[c].rejected;
     return false;
   }
   queue.push_back(Entry{req, now, seq_++});
   ++queued_;
   ++admitted_;
+  ++class_stats_[c].admitted;
+  class_stats_[c].peak_queued =
+      std::max(class_stats_[c].peak_queued, queue.size());
   return true;
 }
 

@@ -70,6 +70,20 @@ class RequestScheduler {
   }
   [[nodiscard]] std::uint64_t admitted() const noexcept { return admitted_; }
   [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+
+  /// Per-class admission/backlog ledger — the control plane's queue-depth
+  /// and admission-reject inputs (exported as sched_* gauges by the serving
+  /// plane's telemetry pass). peak_queued is the worst backlog this class's
+  /// queue ever held, sampled after every admit.
+  struct ClassStats {
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::size_t peak_queued = 0;
+  };
+  [[nodiscard]] const ClassStats& class_stats(fed::PolicyClass c)
+      const noexcept {
+    return class_stats_[fed::class_index(c)];
+  }
   [[nodiscard]] const SchedulerConfig& config() const noexcept {
     return config_;
   }
@@ -85,6 +99,7 @@ class RequestScheduler {
 
   SchedulerConfig config_;
   std::array<std::deque<Entry>, fed::kPolicyClassCount> queues_;
+  std::array<ClassStats, fed::kPolicyClassCount> class_stats_{};
   std::size_t queued_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t admitted_ = 0;

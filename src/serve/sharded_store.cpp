@@ -72,31 +72,38 @@ JobId ShardedStore::add_tenant(const fed::FLJob& job,
   Tenant tenant;
   tenant.id = id;
   tenant.job = &job;
+  tenant.store_config = store_config;
   coalescers_.push_back(std::make_unique<Coalescer>());
   coalescers_.back()->set_tracer(obs::tracer_of(config_.telemetry));
   for (int i = 0; i < cache_shards; ++i) {
-    auto cfg = store_config;
-    cfg.backup_to_cold = store_config.backup_to_cold && i == 0;
-    // Wire the store fully before it moves behind the shard mutex, so no
-    // unlocked dereference of Shard::store ever exists.
-    auto store = std::make_unique<core::FLStore>(cfg, job, *cold_);
-    store->set_telemetry(config_.telemetry);
-    if (config_.coalesce_cold_fetches) {
-      store->set_cold_fetch_interceptor(coalescers_.back().get());
-    }
-    auto shard = std::make_unique<Shard>();
-    shard->tenant = id;
-    shard->store = std::move(store);
-    const auto n_stripes = std::max(config_.hot_path.stripes, 1);
-    shard->stripes.reserve(static_cast<std::size_t>(n_stripes));
-    for (int s = 0; s < n_stripes; ++s) {
-      shard->stripes.push_back(std::make_unique<Stripe>());
-    }
     tenant.shards.push_back(static_cast<int>(shards_.size()));
-    shards_.push_back(std::move(shard));
+    shards_.push_back(make_shard(tenant, /*primary=*/i == 0));
   }
   tenants_.push_back(std::move(tenant));
   return id;
+}
+
+std::unique_ptr<ShardedStore::Shard> ShardedStore::make_shard(
+    const Tenant& tenant, bool primary) {
+  auto cfg = tenant.store_config;
+  cfg.backup_to_cold = cfg.backup_to_cold && primary;
+  // Wire the store fully before it moves behind the shard mutex, so no
+  // unlocked dereference of Shard::store ever exists.
+  auto store = std::make_unique<core::FLStore>(cfg, *tenant.job, *cold_);
+  store->set_telemetry(config_.telemetry);
+  if (config_.coalesce_cold_fetches) {
+    store->set_cold_fetch_interceptor(
+        coalescers_[static_cast<std::size_t>(tenant.id)].get());
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->tenant = tenant.id;
+  shard->store = std::move(store);
+  const auto n_stripes = std::max(config_.hot_path.stripes, 1);
+  shard->stripes.reserve(static_cast<std::size_t>(n_stripes));
+  for (int s = 0; s < n_stripes; ++s) {
+    shard->stripes.push_back(std::make_unique<Stripe>());
+  }
+  return shard;
 }
 
 const ShardedStore::Tenant& ShardedStore::tenant(JobId id) const {
@@ -143,12 +150,13 @@ core::ServeResult ShardedStore::serve(const ServiceRequest& req, double now) {
   return shard.store->serve(req.request, now);
 }
 
-void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
-                              const std::vector<ServiceRequest>& arrivals,
-                              double horizon_s, double round_interval_s,
-                              const ClosedLoopConfig* closed,
-                              const TenantMix* mix,
-                              std::vector<ServiceRecord>& out) {
+void ShardedStore::run_tenant(
+    const Tenant& tenant, Mode mode,
+    const std::vector<ServiceRequest>& arrivals, double horizon_s,
+    double round_interval_s, RoundId first_round,
+    const ClosedLoopConfig* closed, const TenantMix* mix,
+    std::vector<ServiceRecord>& out,
+    std::array<SchedClassStats, fed::kPolicyClassCount>& sched_out) {
   FLSTORE_CHECK(round_interval_s > 0.0);
   const auto n_local = tenant.shards.size();
 
@@ -159,7 +167,7 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
   const auto max_round = std::min<RoundId>(
       tenant.job->latest_round(),
       static_cast<RoundId>(std::floor(horizon_s / round_interval_s)));
-  for (RoundId r = 0; r <= max_round; ++r) {
+  for (RoundId r = first_round; r <= max_round; ++r) {
     Event ev;
     ev.time = static_cast<double>(r) * round_interval_s;
     ev.type = EvType::kIngest;
@@ -326,12 +334,25 @@ void ShardedStore::run_tenant(const Tenant& tenant, Mode mode,
         break;
     }
   }
+
+  // Fold the schedulers' per-class admission ledgers into the tenant's
+  // slot: counts sum across this tenant's shards, queue peaks take the max
+  // (each shard is its own single-server queue).
+  for (const auto& sched : scheds) {
+    for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+      const auto& s = sched.class_stats(static_cast<fed::PolicyClass>(c));
+      sched_out[c].admitted += s.admitted;
+      sched_out[c].rejected += s.rejected;
+      sched_out[c].peak_queued = std::max(sched_out[c].peak_queued,
+                                          s.peak_queued);
+    }
+  }
 }
 
 ServiceReport ShardedStore::run_all_tenants(
     Mode mode, const std::vector<ServiceRequest>& trace, double horizon_s,
     double round_interval_s, const ClosedLoopConfig* closed,
-    const std::vector<TenantMix>* mix) {
+    const std::vector<TenantMix>* mix, RoundId first_round) {
   std::vector<std::vector<ServiceRequest>> per_tenant(tenants_.size());
   for (const auto& r : trace) {
     (void)tenant(r.tenant);  // validates
@@ -366,16 +387,20 @@ ServiceReport ShardedStore::run_all_tenants(
   const auto coalescer_before = coalescer_stats();
 
   std::vector<std::vector<ServiceRecord>> results(tenants_.size());
+  std::vector<std::array<SchedClassStats, fed::kPolicyClassCount>> sched_stats(
+      tenants_.size());
   std::vector<std::exception_ptr> errors(tenants_.size());
   ThreadPool pool(config_.worker_threads);
   std::vector<std::function<void()>> tasks;
   tasks.reserve(tenants_.size());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     tasks.push_back([this, i, mode, &per_tenant, horizon_s, round_interval_s,
-                     closed, &mix_of, &results, &errors] {
+                     first_round, closed, &mix_of, &results, &sched_stats,
+                     &errors] {
       try {
         run_tenant(tenants_[i], mode, per_tenant[i], horizon_s,
-                   round_interval_s, closed, mix_of[i], results[i]);
+                   round_interval_s, first_round, closed, mix_of[i],
+                   results[i], sched_stats[i]);
       } catch (...) {
         errors[i] = std::current_exception();
       }
@@ -389,6 +414,14 @@ ServiceReport ShardedStore::run_all_tenants(
   ServiceReport report;
   for (auto& r : results) {
     report.records.insert(report.records.end(), r.begin(), r.end());
+  }
+  for (const auto& per_class : sched_stats) {
+    for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+      report.scheduler[c].admitted += per_class[c].admitted;
+      report.scheduler[c].rejected += per_class[c].rejected;
+      report.scheduler[c].peak_queued = std::max(
+          report.scheduler[c].peak_queued, per_class[c].peak_queued);
+    }
   }
   // Canonical order, independent of tenant task interleaving.
   std::sort(report.records.begin(), report.records.end(),
@@ -445,6 +478,23 @@ ServiceReport ShardedStore::serve_open_loop(
                          nullptr, nullptr);
 }
 
+ServiceReport ShardedStore::serve_open_loop_window(
+    const std::vector<ServiceRequest>& trace, double round_interval_s,
+    double window_start_s, double window_end_s) {
+  FLSTORE_CHECK(round_interval_s > 0.0);
+  FLSTORE_CHECK(window_end_s > window_start_s);
+  // The previous window's horizon already ingested every round through
+  // floor(start / interval); this window owns the rest.
+  const auto first_round =
+      window_start_s <= 0.0
+          ? RoundId{0}
+          : static_cast<RoundId>(
+                std::floor(window_start_s / round_interval_s)) +
+                1;
+  return run_all_tenants(Mode::kQueued, trace, window_end_s, round_interval_s,
+                         nullptr, nullptr, first_round);
+}
+
 ServiceReport ShardedStore::serve_closed_loop(
     const ClosedLoopConfig& config, const std::vector<TenantMix>& mix) {
   return run_all_tenants(Mode::kQueued, {}, config.duration_s,
@@ -478,6 +528,20 @@ void ShardedStore::book_telemetry(const ServiceReport& report) {
         .histogram("serve_queue_wait_s", {{obs::kLabelClass, cls}})
         .observe(rec.queue_s);
     telemetry->slo.record(rec);
+  }
+  // Scheduler pressure gauges, per class: the run's peak queue depth and
+  // admission rejects — the control plane's queueing signal (a rising peak
+  // with flat rejects means the limit is absorbing a burst; rising rejects
+  // mean it is shedding).
+  for (std::size_t c = 0; c < fed::kPolicyClassCount; ++c) {
+    const char* const cls =
+        fed::to_string(static_cast<fed::PolicyClass>(c));
+    telemetry->metrics
+        .gauge("sched_queue_depth_peak", {{obs::kLabelClass, cls}})
+        .set(static_cast<double>(report.scheduler[c].peak_queued));
+    telemetry->metrics
+        .gauge("sched_admission_rejects", {{obs::kLabelClass, cls}})
+        .set(static_cast<double>(report.scheduler[c].rejected));
   }
 }
 
@@ -568,6 +632,7 @@ bool ShardedStore::hot_evict(JobId tenant_id, const MetadataKey& key,
 void ShardedStore::hot_sync() {
   std::vector<core::CacheEngine::DeferredAccess> batch;
   for (auto& shard : shards_) {
+    if (!shard->active) continue;
     for (std::size_t s = 0; s < shard->stripes.size(); ++s) {
       auto& stripe = *shard->stripes[s];
       {
@@ -687,10 +752,147 @@ Coalescer::Stats ShardedStore::coalescer_stats() const {
 double ShardedStore::infrastructure_cost(double seconds) const {
   double usd = 0.0;
   for (const auto& shard : shards_) {
+    if (!shard->active) continue;  // retired slots bill nothing
     const WriterMutexLock lock(shard->mu);
     usd += shard->store->infrastructure_cost(seconds);
   }
   return usd;
+}
+
+backend::StorageBackend::FlushResult ShardedStore::set_flush_policy(
+    double now, const backend::FlushPolicy& policy) {
+  config_.cold_flush = policy;  // future tenants inherit the plane default
+  backend::StorageBackend::FlushResult total;
+  for (const auto& t : tenants_) {
+    auto& shard = *shards_[static_cast<std::size_t>(t.shards.front())];
+    const WriterMutexLock lock(shard.mu);
+    const auto r = shard.store->flush_scheduler().set_policy(now, policy);
+    total.drained += r.drained;
+    total.drained_bytes += r.drained_bytes;
+    total.refused += r.refused;
+    total.refused_bytes += r.refused_bytes;
+    total.request_fee_usd += r.request_fee_usd;
+  }
+  return total;
+}
+
+void ShardedStore::set_tenant_class_budgets(
+    JobId tenant_id,
+    const std::array<units::Bytes, fed::kPolicyClassCount>& budgets) {
+  for (const auto global : tenant(tenant_id).shards) {
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    const WriterMutexLock lock(shard.mu);
+    shard.store->set_class_capacity(budgets);
+  }
+}
+
+int ShardedStore::active_shard_count() const noexcept {
+  int n = 0;
+  for (const auto& shard : shards_) {
+    if (shard->active) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+/// One entry captured from a source shard for re-insert elsewhere: the
+/// ResidentEntry plus the blob snapshot (taken under the source's reader
+/// lock so no two shard locks are ever held together).
+struct Rehome {
+  core::CacheEngine::ResidentEntry entry;
+  std::shared_ptr<const Blob> blob;
+  double available_at = 0.0;
+};
+
+std::optional<fed::PolicyClass> class_of_partition(std::uint8_t partition) {
+  if (partition >= fed::kPolicyClassCount) return std::nullopt;  // shared
+  return static_cast<fed::PolicyClass>(partition);
+}
+
+}  // namespace
+
+int ShardedStore::set_tenant_shards(JobId tenant_id, int target, double now) {
+  FLSTORE_CHECK(target >= 1);
+  (void)tenant(tenant_id);  // validates
+  auto& t = tenants_[static_cast<std::size_t>(tenant_id)];
+  const int before = static_cast<int>(t.shards.size());
+  if (target == before) return before;
+
+  // Phase-1 capture under the source's reader lock only; phase-2 applies
+  // under the destination's writer lock only. No call path ever holds two
+  // shard locks, so actuation cannot deadlock against anything.
+  const auto capture = [&](int global) {
+    std::vector<Rehome> moves;
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    const ReaderMutexLock lock(shard.mu);
+    const auto& engine = std::as_const(*shard.store).engine();
+    for (auto& entry : engine.resident_entries()) {
+      auto view = engine.read_only_lookup(entry.key, now);
+      if (view.blob == nullptr) continue;  // lost its pool group; skip
+      moves.push_back(Rehome{entry, std::move(view.blob), view.available_at});
+    }
+    return moves;
+  };
+  const auto place = [&](int global, const Rehome& m, bool opportunistic) {
+    auto& shard = *shards_[static_cast<std::size_t>(global)];
+    const WriterMutexLock lock(shard.mu);
+    auto& engine = shard.store->engine();
+    if (engine.contains(m.entry.key)) return;
+    (void)engine.cache_object(m.entry.key, m.blob, m.entry.logical_bytes, now,
+                              m.available_at, m.entry.pinned, opportunistic,
+                              class_of_partition(m.entry.partition));
+  };
+
+  if (target > before) {
+    const int primary = t.shards.front();
+    std::vector<int> newcomers;
+    while (static_cast<int>(t.shards.size()) < target) {
+      int global;
+      if (!t.retired.empty()) {
+        global = t.retired.back();
+        t.retired.pop_back();
+        shards_[static_cast<std::size_t>(global)]->active = true;
+      } else {
+        global = static_cast<int>(shards_.size());
+        shards_.push_back(make_shard(t, /*primary=*/false));
+      }
+      t.shards.push_back(global);
+      newcomers.push_back(global);
+    }
+    // Warm every newcomer from the primary replica (ingest replicates round
+    // state to all shards, so the primary holds the canonical warm set).
+    // Opportunistic: fill what fits, never evict to make room.
+    const auto warm = capture(primary);
+    for (const int global : newcomers) {
+      for (const auto& m : warm) place(global, m, /*opportunistic=*/true);
+    }
+  } else {
+    while (static_cast<int>(t.shards.size()) > target) {
+      const int victim = t.shards.back();
+      t.shards.pop_back();
+      const auto moves = capture(victim);
+      // Re-home onto the survivors by key hash (the hot path's routing);
+      // non-opportunistic so the survivor's policy decides what to evict.
+      for (const auto& m : moves) {
+        const auto dest = t.shards[MetadataKeyHash{}(m.entry.key) %
+                                   t.shards.size()];
+        place(dest, m, /*opportunistic=*/false);
+      }
+      auto& shard = *shards_[static_cast<std::size_t>(victim)];
+      {
+        const WriterMutexLock lock(shard.mu);
+        auto& engine = shard.store->engine();
+        for (const auto& m : moves) (void)engine.evict(m.entry.key);
+        for (const auto& entry : engine.resident_entries()) {
+          (void)engine.evict(entry.key);  // stragglers with dead groups
+        }
+      }
+      shard.active = false;
+      t.retired.push_back(victim);
+    }
+  }
+  return static_cast<int>(t.shards.size());
 }
 
 }  // namespace flstore::serve

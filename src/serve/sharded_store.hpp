@@ -164,6 +164,15 @@ class ShardedStore {
   }
   /// Global shard index `req` routes to under the configured policy.
   [[nodiscard]] int shard_for(const ServiceRequest& req) const;
+  /// Global index of `tenant`'s primary shard (the one that backs up to
+  /// cold and owns the FlushScheduler the control plane reads).
+  [[nodiscard]] int tenant_primary_shard(JobId tenant) const {
+    return this->tenant(tenant).shards.front();
+  }
+  /// The shared cold tier behind every shard.
+  [[nodiscard]] const backend::StorageBackend& cold() const noexcept {
+    return *cold_;
+  }
 
   /// Ingest a finished round into every shard of `tenant`.
   void ingest_round(JobId tenant, const fed::RoundRecord& record, double now);
@@ -182,6 +191,75 @@ class ShardedStore {
   /// admission control). This is the throughput/tail-latency mode.
   ServiceReport serve_open_loop(const std::vector<ServiceRequest>& trace,
                                 double round_interval_s);
+
+  /// One control-tick window of the queued open-loop mode: serves the
+  /// arrivals in `trace` (the caller slices them to [window_start_s,
+  /// window_end_s)) and ingests only the training rounds landing inside
+  /// the window, so consecutive windows compose into one continuous
+  /// timeline over the same warm shards — the control loop runs the plane
+  /// window by window and actuates between windows. Scheduler queues and
+  /// shard busy time do not carry across the boundary (the tick-boundary
+  /// approximation; ticks sit on round boundaries where queues drain).
+  ServiceReport serve_open_loop_window(const std::vector<ServiceRequest>& trace,
+                                       double round_interval_s,
+                                       double window_start_s,
+                                       double window_end_s);
+
+  // --- Control-plane actuators -------------------------------------------
+  // Called by control::Controller between run windows, when the plane is
+  // quiescent (no run in flight). Each takes effect on the next window.
+
+  /// Replace the per-shard scheduler configuration used by subsequent
+  /// queued runs (admission limits, SLOs, aging). The controller's
+  /// admission-tightening knob.
+  void set_scheduler_config(const SchedulerConfig& config) {
+    config_.scheduler = config;
+  }
+  [[nodiscard]] const SchedulerConfig& scheduler_config() const noexcept {
+    return config_.scheduler;
+  }
+
+  /// Swap the write-back flush policy on every tenant's primary
+  /// FlushScheduler at simulated time `now` (two-phase: deadlines the old
+  /// policy already owed fire retroactively first — see
+  /// FlushScheduler::set_policy), and make it the plane-wide default for
+  /// future tenants. Returns the aggregate drain the swap triggered.
+  backend::StorageBackend::FlushResult set_flush_policy(
+      double now, const backend::FlushPolicy& policy);
+
+  /// Retune the shared cold tier's token bucket at `now` (carry-over
+  /// semantics in Throttle::set_config). Returns false when the backend
+  /// exposes no throttle.
+  bool set_cold_throttle(const backend::Throttle::Config& config, double now) {
+    return cold_->set_throttle(config, now);
+  }
+
+  /// Apply explicit per-class cache budgets to every live shard of
+  /// `tenant` — the controller's bandit-suggested split (see also
+  /// rebalance_tenant_partitions for the ledger-driven variant).
+  void set_tenant_class_budgets(
+      JobId tenant,
+      const std::array<units::Bytes, fed::kPolicyClassCount>& budgets);
+
+  /// Cache shards currently serving `tenant`.
+  [[nodiscard]] int tenant_shard_count(JobId tenant) const {
+    return static_cast<int>(this->tenant(tenant).shards.size());
+  }
+  /// Shards across all tenants that are live (not retired by scale-in).
+  [[nodiscard]] int active_shard_count() const noexcept;
+
+  /// Live scale-out/in of `tenant`'s serving fleet to `target` shards
+  /// (>= 1; the primary shard never retires). Scale-out reactivates the
+  /// tenant's retired slots first, then appends fresh shards; either way
+  /// newcomers are warmed by copying the primary's resident set
+  /// (ingest_round replicates rounds to every shard, so the primary holds
+  /// the tenant's canonical warm set; copies are opportunistic — they fill
+  /// the newcomer without evicting). Scale-in re-homes each victim's
+  /// residents onto the survivors by key hash before retiring the slot.
+  /// Global indices of other shards never shift, and retired slots stop
+  /// billing keep-alive (infrastructure_cost skips them) — the idle-cost
+  /// win the controller's scale-in chases. Returns the resulting count.
+  int set_tenant_shards(JobId tenant, int target, double now);
 
   /// Closed loop: `users_per_tenant` virtual users per tenant issue a
   /// request, wait for its completion, think, and re-issue until the
@@ -273,11 +351,19 @@ class ShardedStore {
     /// immutable afterwards; each stripe's contents are guarded by its own
     /// mutex).
     std::vector<std::unique_ptr<Stripe>> stripes;
+    /// False once scale-in retired the slot: it serves no traffic, holds no
+    /// residents, and bills no keep-alive, but keeps its global index so
+    /// other shards' indices never shift. Flipped only between runs.
+    bool active = true;
   };
   struct Tenant {
     JobId id = 0;
     const fed::FLJob* job = nullptr;
-    std::vector<int> shards;  ///< global shard indices
+    std::vector<int> shards;  ///< global indices of live shards
+    /// Resolved config from add_tenant (namespace + plane flush applied) —
+    /// the template scale-out builds fresh shards from.
+    core::FLStoreConfig store_config;
+    std::vector<int> retired;  ///< this tenant's retired global slots
   };
 
   enum class Mode { kReplay, kQueued };
@@ -286,16 +372,25 @@ class ShardedStore {
 
   /// Run one tenant's discrete-event timeline (see .cpp). `arrivals` must
   /// be sorted by arrival time; closed-loop passes `closed` instead.
+  /// Rounds [first_round, floor(horizon/interval)] ingest (windowed runs
+  /// pass the first round not yet ingested); per-class scheduler stats
+  /// accumulate into `sched_out` (queued mode only).
   void run_tenant(const Tenant& tenant, Mode mode,
                   const std::vector<ServiceRequest>& arrivals,
                   double horizon_s, double round_interval_s,
-                  const ClosedLoopConfig* closed, const TenantMix* mix,
-                  std::vector<ServiceRecord>& out);
+                  RoundId first_round, const ClosedLoopConfig* closed,
+                  const TenantMix* mix, std::vector<ServiceRecord>& out,
+                  std::array<SchedClassStats, fed::kPolicyClassCount>&
+                      sched_out);
 
   ServiceReport run_all_tenants(
       Mode mode, const std::vector<ServiceRequest>& trace, double horizon_s,
       double round_interval_s, const ClosedLoopConfig* closed,
-      const std::vector<TenantMix>* mix);
+      const std::vector<TenantMix>* mix, RoundId first_round = 0);
+
+  /// Build one shard for `tenant` from its stored config (scale-out and
+  /// add_tenant share this; `primary` enables cold backup on shard 0 only).
+  std::unique_ptr<Shard> make_shard(const Tenant& tenant, bool primary);
 
   /// Book metrics/SLO telemetry for a finished run (single-threaded, off
   /// the parallel data path — see run_all_tenants).

@@ -404,5 +404,127 @@ TEST(ScenarioPlumb, ColdFlushPolicyReachesEveryFLStoreTheScenarioBuilds) {
                    123.0);
 }
 
+// --- Live re-policy (control-plane actuation) -----------------------------
+
+TEST_F(WriteBackFixture, SetPolicyFiresTheOldPoliciesOverdueDeadlineFirst) {
+  // Object dirty since t=0 under a 30 s age bound; the switch arrives at
+  // t=100 with the deadline long overdue. Phase 1 must close out the old
+  // policy's debt exactly as observe(100) would have: drain stamped at
+  // t=30, peak age exactly the old threshold — never the switch gap, and
+  // never the new policy's bound.
+  FlushPolicy old_policy;
+  old_policy.flush_on_round_boundary = false;
+  old_policy.max_dirty_age_s = 30.0;
+  FlushScheduler sched(tiered, old_policy);
+  ASSERT_TRUE(tiered.put("k", Blob{1}, 8 * MB, 0.0).accepted);
+  EXPECT_EQ(sched.observe(0.0).drained, 0U);
+
+  FlushPolicy relaxed;
+  relaxed.flush_on_round_boundary = false;
+  relaxed.max_dirty_age_s = 500.0;
+  const auto drained = sched.set_policy(100.0, relaxed);
+  EXPECT_EQ(drained.drained, 1U);
+  EXPECT_TRUE(deep.contains("k"));
+  const auto stats = sched.dirty_window_stats(100.0);
+  EXPECT_EQ(stats.age_flushes, 1U);
+  EXPECT_DOUBLE_EQ(stats.peak_oldest_dirty_age_s, 30.0);
+  EXPECT_NEAR(stats.bytes_at_risk_integral, 8e6 * 30.0, 1.0);
+  EXPECT_DOUBLE_EQ(sched.policy().max_dirty_age_s, 500.0);
+}
+
+TEST_F(WriteBackFixture, SetPolicyAppliesTighterBoundsAtTheSwitchInstant) {
+  // 9 MB dirty under a relaxed policy; the controller sheds by switching
+  // to a 4 MB byte bound at t=50. The new bound is evaluated at the switch
+  // instant itself: the window drains immediately, booked as a byte flush.
+  FlushPolicy relaxed;
+  relaxed.flush_on_round_boundary = false;
+  FlushScheduler sched(tiered, relaxed);
+  ASSERT_TRUE(tiered.put("a", Blob{1}, 4 * MB, 0.0).accepted);
+  ASSERT_TRUE(tiered.put("b", Blob{2}, 5 * MB, 10.0).accepted);
+  EXPECT_EQ(sched.observe(20.0).drained, 0U);
+
+  FlushPolicy shed;
+  shed.flush_on_round_boundary = false;
+  shed.max_dirty_bytes = 4 * MB;
+  const auto drained = sched.set_policy(50.0, shed);
+  EXPECT_EQ(drained.drained, 2U);
+  EXPECT_EQ(drained.drained_bytes, 9 * MB);
+  EXPECT_EQ(tiered.dirty_count(), 0U);
+  EXPECT_EQ(sched.dirty_window_stats(50.0).byte_flushes, 1U);
+}
+
+TEST_F(WriteBackFixture, SetPolicyTighterAgeClampsToTheSwitchInstant) {
+  // Dirty since t=0, old age bound 500 s (not yet due at t=40). The new
+  // 10 s bound is retroactively due at t=10 — but the old policy owned
+  // the window until the switch, so the drain fires AT the switch (t=40),
+  // not back-dated to a moment the new policy never governed.
+  FlushPolicy relaxed;
+  relaxed.flush_on_round_boundary = false;
+  relaxed.max_dirty_age_s = 500.0;
+  FlushScheduler sched(tiered, relaxed);
+  ASSERT_TRUE(tiered.put("k", Blob{1}, 2 * MB, 0.0).accepted);
+  EXPECT_EQ(sched.observe(0.0).drained, 0U);
+
+  FlushPolicy tight;
+  tight.flush_on_round_boundary = false;
+  tight.max_dirty_age_s = 10.0;
+  const auto drained = sched.set_policy(40.0, tight);
+  EXPECT_EQ(drained.drained, 1U);
+  const auto stats = sched.dirty_window_stats(40.0);
+  EXPECT_EQ(stats.age_flushes, 1U);
+  // Peak exposure ran to the switch instant: 40 s, not the new bound.
+  EXPECT_DOUBLE_EQ(stats.peak_oldest_dirty_age_s, 40.0);
+}
+
+TEST_F(WriteBackFixture, SetPolicyWithNothingDueIsPureBookkeeping) {
+  FlushPolicy policy;
+  policy.flush_on_round_boundary = false;
+  policy.max_dirty_age_s = 100.0;
+  FlushScheduler sched(tiered, policy);
+  ASSERT_TRUE(tiered.put("k", Blob{1}, 2 * MB, 0.0).accepted);
+  const auto drained = sched.set_policy(5.0, policy);  // re-apply, early
+  EXPECT_EQ(drained.drained, 0U);
+  EXPECT_EQ(tiered.dirty_count(), 1U);
+  EXPECT_EQ(sched.dirty_window_stats(5.0).flushes, 0U);
+  // The retroactive deadline still belongs to the original dirty stamp.
+  const auto later = sched.observe(300.0);
+  EXPECT_EQ(later.drained, 1U);
+  EXPECT_DOUBLE_EQ(sched.dirty_window_stats(300.0).peak_oldest_dirty_age_s,
+                   100.0);
+}
+
+TEST_F(WriteBackFixture, ShardedStoreSetFlushPolicySwapsEveryPrimary) {
+  // The serving-plane actuator: set_flush_policy reaches every tenant's
+  // primary FlushScheduler and future windows run under the new policy.
+  serve::ShardedStoreConfig cfg;
+  cfg.worker_threads = 0;
+  backend::FlushPolicy lazy;
+  lazy.flush_on_round_boundary = false;
+  lazy.max_dirty_age_s = 1e9;
+  cfg.cold_flush = lazy;
+  serve::ShardedStore plane(tiered, cfg);
+  fed::FLJobConfig job_cfg;
+  job_cfg.model = "resnet18";
+  job_cfg.pool_size = 12;
+  job_cfg.clients_per_round = 4;
+  job_cfg.rounds = 3;
+  fed::FLJob job(job_cfg);
+  const auto tenant = plane.add_tenant(job, {}, 2);
+  plane.ingest_round(tenant, job.make_round(0), 0.0);
+  EXPECT_GT(tiered.dirty_count(), 0U);
+
+  backend::FlushPolicy eager;
+  eager.flush_on_round_boundary = false;
+  eager.max_dirty_bytes = 1;  // any dirty byte trips
+  const auto drained = plane.set_flush_policy(10.0, eager);
+  EXPECT_GT(drained.drained, 0U);
+  EXPECT_EQ(tiered.dirty_count(), 0U);
+  EXPECT_EQ(plane.shard(plane.tenant_primary_shard(tenant))
+                .flush_scheduler()
+                .policy()
+                .max_dirty_bytes,
+            units::Bytes{1});
+}
+
 }  // namespace
 }  // namespace flstore

@@ -128,5 +128,75 @@ TEST(ThrottleEdge, CloudCacheBatchHonoursTheSameContract) {
   EXPECT_DOUBLE_EQ(res2.latency_s, 1.0 + cfg.link.transfer_time(1 * MB));
 }
 
+// --- Live retune (control-plane actuation) --------------------------------
+
+TEST(ThrottleRetune, AccruedTokensCarryOverClampedToNewBurst) {
+  Throttle throttle(Throttle::Config{2.0, 8.0});
+  // Full bucket of 8; retune to burst 2: credit clamps down.
+  throttle.set_config(Throttle::Config{2.0, 2.0}, 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.5);  // third op queues
+}
+
+TEST(ThrottleRetune, QueuedBacklogDrainsAtTheNewRate) {
+  // Rate 1, burst 1: one free admit, then two queue 1 s and 2 s deep —
+  // the bucket owes 2 tokens.
+  Throttle throttle(Throttle::Config{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 2.0);
+  // Doubling the rate at the same instant: the next op owes 3 tokens at
+  // 2 ops/s = 1.5 s, not the 3 s the old rate would have charged. The
+  // backlog is op-denominated; re-provisioning clears it sooner.
+  throttle.set_config(Throttle::Config{2.0, 1.0}, 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(0.0), 1.5);
+}
+
+TEST(ThrottleRetune, SettlesOldRateAccrualBeforeSwapping) {
+  // Debt of 2 tokens at t=0 under 1 op/s. Retuning at t=1 must first
+  // credit the 1 token the old rate accrued, then charge the remainder at
+  // the new rate: (1 debt + 1 op) / 4 ops/s = 0.5 s.
+  Throttle throttle(Throttle::Config{1.0, 1.0});
+  (void)throttle.admit(0.0);
+  (void)throttle.admit(0.0);
+  (void)throttle.admit(0.0);  // tokens now -2
+  throttle.set_config(Throttle::Config{4.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(1.0), 0.5);
+}
+
+TEST(ThrottleRetune, TurningOffForgivesTheQueueAndBackOnStartsFresh) {
+  Throttle throttle(Throttle::Config{1.0, 1.0});
+  (void)throttle.admit(0.0);
+  EXPECT_GT(throttle.admit(0.0), 0.0);  // in debt
+  throttle.set_config(Throttle::Config{0.0, 0.0}, 0.0);
+  EXPECT_FALSE(throttle.enabled());
+  EXPECT_DOUBLE_EQ(throttle.admit(5.0), 0.0);
+  // Re-enabling starts a fresh full bucket from `now`.
+  throttle.set_config(Throttle::Config{1.0, 2.0}, 10.0);
+  EXPECT_TRUE(throttle.enabled());
+  EXPECT_DOUBLE_EQ(throttle.admit(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(throttle.admit(10.0), 1.0);
+}
+
+TEST(ThrottleRetune, BackendSetThrottleForwardsThroughTheStack) {
+  // The virtual set_throttle seam: a tiered stack forwards the retune to
+  // every tier, and the retuned rate shows up as shorter queueing on the
+  // next admission.
+  LocalSsdBackend::Config cfg;
+  cfg.link = sim::local_ssd_link();
+  cfg.throttle = Throttle::Config{1.0, 1.0};
+  LocalSsdBackend ssd(cfg, PricingCatalog::aws());
+  StorageBackend& backend = ssd;
+  ASSERT_TRUE(backend.put("a", Blob{1}, 1 * MB, 0.0).accepted);
+  ASSERT_TRUE(backend.put("b", Blob{2}, 1 * MB, 0.0).accepted);
+  EXPECT_DOUBLE_EQ(ssd.stats().throttle_wait_s, 1.0);
+  EXPECT_TRUE(backend.set_throttle(Throttle::Config{10.0, 1.0}, 0.0));
+  // Debt of 1 token + this op's token = 2 tokens at 10 ops/s = 0.2 s.
+  ASSERT_TRUE(backend.put("c", Blob{3}, 1 * MB, 0.0).accepted);
+  EXPECT_DOUBLE_EQ(ssd.stats().throttle_wait_s, 1.2);
+}
+
 }  // namespace
 }  // namespace flstore::backend

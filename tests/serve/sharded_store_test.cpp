@@ -387,5 +387,187 @@ TEST(ShardedStore, StatsPollingDuringRunIsDataRaceFree) {
   (void)flushes;
 }
 
+// --- Control-plane seams ---------------------------------------------------
+
+// Per-class scheduler ledgers: admissions + rejections partition the trace,
+// and the queued run exports them on the report (replay leaves them zero).
+TEST(ShardedStore, SchedulerClassLedgersPartitionTheTrace) {
+  ShardedStoreConfig cfg;
+  cfg.scheduler.class_queue_limit = 2;
+  Plane plane(cfg, /*tenants=*/2);
+  const auto trace = open_loop_trace(open_loop(2.0, 200.0), plane.mix());
+  const auto report = plane.store->serve_open_loop(trace, 30.0);
+  ASSERT_GT(report.rejected(), 0U);
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::size_t peak = 0;
+  for (const auto& cls : report.scheduler) {
+    admitted += cls.admitted;
+    rejected += cls.rejected;
+    peak = std::max(peak, cls.peak_queued);
+  }
+  EXPECT_EQ(admitted + rejected, trace.size());
+  EXPECT_EQ(rejected, report.rejected());
+  EXPECT_GT(peak, 0U);
+  EXPECT_LE(peak, cfg.scheduler.class_queue_limit);
+
+  // Replay bypasses the schedulers entirely: a fresh plane's ledger stays
+  // untouched by a zero-queueing run.
+  Plane fresh(cfg, /*tenants=*/2);
+  const auto replayed = fresh.store->replay(trace, 30.0);
+  for (const auto& cls : replayed.scheduler) {
+    EXPECT_EQ(cls.admitted + cls.rejected + cls.peak_queued, 0U);
+  }
+}
+
+// The satellite gauges: queue-depth peak and admission rejects per class
+// land in the metrics registry after a queued run.
+TEST(ShardedStore, SchedulerGaugesReachTheRegistry) {
+  obs::Telemetry telemetry;
+  ShardedStoreConfig cfg;
+  cfg.scheduler.class_queue_limit = 2;
+  cfg.telemetry = &telemetry;
+  Plane plane(cfg, /*tenants=*/1);
+  const auto trace = open_loop_trace(open_loop(2.0, 200.0), plane.mix());
+  const auto report = plane.store->serve_open_loop(trace, 30.0);
+  double gauge_rejects = 0.0;
+  double gauge_peak = 0.0;
+  for (const auto c : {fed::PolicyClass::kP1, fed::PolicyClass::kP2,
+                       fed::PolicyClass::kP3, fed::PolicyClass::kP4}) {
+    gauge_rejects += telemetry.metrics
+                         .gauge("sched_admission_rejects",
+                                {{obs::kLabelClass, fed::to_string(c)}})
+                         .value();
+    gauge_peak = std::max(
+        gauge_peak, telemetry.metrics
+                        .gauge("sched_queue_depth_peak",
+                               {{obs::kLabelClass, fed::to_string(c)}})
+                        .value());
+  }
+  EXPECT_DOUBLE_EQ(gauge_rejects, static_cast<double>(report.rejected()));
+  EXPECT_GT(gauge_peak, 0.0);
+}
+
+// Live scale-out: newcomers are warmed from the primary's resident set,
+// keep-alive cost grows with the fleet, and the tenant's routing spreads
+// over the new width on the next run.
+TEST(ShardedStore, ScaleOutWarmsNewShardsAndBillsThem) {
+  ShardedStoreConfig cfg;
+  cfg.routing = Routing::kHash;
+  Plane plane(cfg, /*tenants=*/1, /*shards_each=*/1);
+  const auto trace = open_loop_trace(open_loop(0.5, 200.0), plane.mix());
+  (void)plane.store->serve_open_loop(trace, 30.0);
+  const auto cost1 = plane.store->infrastructure_cost(3600.0);
+  ASSERT_EQ(plane.store->tenant_shard_count(0), 1);
+
+  EXPECT_EQ(plane.store->set_tenant_shards(0, 3, 200.0), 3);
+  EXPECT_EQ(plane.store->tenant_shard_count(0), 3);
+  EXPECT_EQ(plane.store->active_shard_count(), 3);
+  EXPECT_GT(plane.store->infrastructure_cost(3600.0), cost1);
+  // Newcomers hold warm copies of the primary's residents.
+  const auto& primary = plane.store->shard(0);
+  ASSERT_GT(primary.engine().object_count(), 0U);
+  for (int s = 1; s < 3; ++s) {
+    EXPECT_GT(plane.store->shard(s).engine().object_count(), 0U);
+  }
+}
+
+// Live scale-in: victims' residents re-home onto survivors, the retired
+// slot stops billing, and scale-out after scale-in reuses the slot instead
+// of growing the global shard table.
+TEST(ShardedStore, ScaleInRehomesAndRetiredSlotsAreReused) {
+  ShardedStoreConfig cfg;
+  cfg.routing = Routing::kHash;
+  Plane plane(cfg, /*tenants=*/1, /*shards_each=*/3);
+  const auto trace = open_loop_trace(open_loop(0.5, 200.0), plane.mix());
+  (void)plane.store->serve_open_loop(trace, 30.0);
+  const auto cost3 = plane.store->infrastructure_cost(3600.0);
+
+  ASSERT_GT(plane.store->shard(0).engine().object_count(), 0U);
+
+  EXPECT_EQ(plane.store->set_tenant_shards(0, 1, 200.0), 1);
+  EXPECT_EQ(plane.store->active_shard_count(), 1);
+  EXPECT_LT(plane.store->infrastructure_cost(3600.0), cost3);
+  // The survivor still holds the warm set; the retired shards hold nothing.
+  EXPECT_GT(plane.store->shard(0).engine().object_count(), 0U);
+  EXPECT_EQ(plane.store->shard(1).engine().object_count(), 0U);
+  EXPECT_EQ(plane.store->shard(2).engine().object_count(), 0U);
+
+  // Growing again reuses the retired slots: the global table stays at 3,
+  // and the reactivated slot (the most recently retired: shard 1) serves
+  // again, warmed from the primary.
+  EXPECT_EQ(plane.store->set_tenant_shards(0, 2, 210.0), 2);
+  EXPECT_EQ(plane.store->shard_count(), 3);
+  EXPECT_EQ(plane.store->active_shard_count(), 2);
+  EXPECT_GT(plane.store->shard(1).engine().object_count(), 0U);
+}
+
+// The plane keeps serving correctly across a scale cycle: every request
+// still completes or is shed, and the second window's results are sane.
+TEST(ShardedStore, ServingContinuesAcrossScaleCycle) {
+  ShardedStoreConfig cfg;
+  cfg.routing = Routing::kHash;
+  Plane plane(cfg, /*tenants=*/1, /*shards_each=*/1);
+  const auto trace = open_loop_trace(open_loop(0.5, 400.0), plane.mix());
+  std::vector<ServiceRequest> first_half;
+  std::vector<ServiceRequest> second_half;
+  for (const auto& r : trace) {
+    (r.request.arrival_s < 200.0 ? first_half : second_half).push_back(r);
+  }
+  const auto a =
+      plane.store->serve_open_loop_window(first_half, 30.0, 0.0, 200.0);
+  EXPECT_EQ(a.completed() + a.rejected(), first_half.size());
+  (void)plane.store->set_tenant_shards(0, 3, 200.0);
+  const auto b =
+      plane.store->serve_open_loop_window(second_half, 30.0, 200.0, 400.0);
+  EXPECT_EQ(b.completed() + b.rejected(), second_half.size());
+  std::size_t shards_used = 0;
+  std::array<bool, 8> seen{};
+  for (const auto& r : b.records) {
+    if (!seen[static_cast<std::size_t>(r.shard)]) {
+      seen[static_cast<std::size_t>(r.shard)] = true;
+      ++shards_used;
+    }
+  }
+  EXPECT_GT(shards_used, 1U);  // hash routing spread over the new width
+}
+
+// Windowed serving composes: the four windows serve the whole trace exactly
+// once, and — the first_round contract — no window re-ingests a round the
+// previous horizon already delivered, so the cold tier sees the same backup
+// stream as the unwindowed run.
+TEST(ShardedStore, WindowedServingNeverReingestsRounds) {
+  Plane whole(plane_config(0), /*tenants=*/2);
+  Plane windowed(plane_config(0), /*tenants=*/2);
+  const auto trace = open_loop_trace(open_loop(0.2, 400.0), whole.mix());
+  (void)whole.store->serve_open_loop(trace, 30.0);
+  const auto whole_puts = whole.cold.put_count();
+  ASSERT_GT(whole_puts, 0U);
+
+  std::size_t served = 0;
+  for (int k = 0; k < 4; ++k) {
+    const double start = 100.0 * k;
+    const double end = 100.0 * (k + 1);
+    std::vector<ServiceRequest> window;
+    for (const auto& r : trace) {
+      if (r.request.arrival_s >= start && r.request.arrival_s < end) {
+        window.push_back(r);
+      }
+    }
+    const auto part =
+        windowed.store->serve_open_loop_window(window, 30.0, start, end);
+    served += part.records.size();
+    EXPECT_EQ(part.completed() + part.rejected(), window.size());
+  }
+  EXPECT_EQ(served, trace.size());
+  // Round ingest (and its cold backup) happened exactly once per round.
+  // The windowed horizon reaches 400 s while the unwindowed horizon stops
+  // at the last arrival, so the windowed run may ingest at most the last
+  // partial round extra — never fewer, never duplicates.
+  EXPECT_GE(windowed.cold.put_count(), whole_puts);
+  EXPECT_LE(windowed.cold.put_count(),
+            whole_puts + whole_puts / 4);  // slack for the final round
+}
+
 }  // namespace
 }  // namespace flstore::serve
