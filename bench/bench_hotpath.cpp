@@ -83,18 +83,21 @@ fed::FLJobConfig bench_job() {
   return cfg;
 }
 
-/// One thread's randomized stream: `ops` draws from `n_keys` (Zipf when
-/// `zipf` is set, uniform otherwise), op kinds drawn per the mix.
+/// One thread's randomized stream: `ops` draws from `n_keys` (through the
+/// shared Zipf table when `zipf` is set, uniform otherwise), op kinds drawn
+/// per the mix. The table is hoisted to main: building the O(n) CDF per
+/// stream (threads × cells × arms of it) was pure setup overhead repeated
+/// for the one (n_keys, exponent) pair the bench ever uses.
 std::vector<Op> build_stream(int ops, int n_keys, const MixSpec& mix,
-                             bool zipfian, std::uint64_t seed) {
+                             const ZipfDistribution* zipf,
+                             std::uint64_t seed) {
   Rng rng(seed);
-  ZipfDistribution zipf(n_keys, 0.9);
   std::vector<Op> stream;
   stream.reserve(static_cast<std::size_t>(ops));
   for (int i = 0; i < ops; ++i) {
     Op op;
-    const auto rank = zipfian
-                          ? zipf(rng)
+    const auto rank = zipf != nullptr
+                          ? (*zipf)(rng)
                           : static_cast<std::int32_t>(
                                 rng.uniform_int(0, n_keys - 1));
     op.key = nth_key(rank);
@@ -113,10 +116,11 @@ struct CellResult {
 };
 
 /// Run one (keyspace, mix, mode, threads) cell on a fresh plane.
-/// `partitioned` gives each thread its own tenant and keyspace.
+/// `partitioned` gives each thread its own tenant and keyspace;
+/// `contended_zipf` is the shared popularity table for the contended case.
 CellResult run_cell(const fed::FLJob& job, serve::HotPathMode mode,
                     bool partitioned, const MixSpec& mix, int threads,
-                    int ops_per_thread) {
+                    int ops_per_thread, const ZipfDistribution& contended_zipf) {
   ObjectStore cold(sim::objstore_link(), PricingCatalog::aws());
   serve::ShardedStoreConfig cfg;
   cfg.worker_threads = 0;  // the hot path spawns its own workers
@@ -142,7 +146,7 @@ CellResult run_cell(const fed::FLJob& job, serve::HotPathMode mode,
   streams.reserve(static_cast<std::size_t>(threads));
   for (int w = 0; w < threads; ++w) {
     streams.push_back(build_stream(
-        ops_per_thread, n_keys, mix, !partitioned,
+        ops_per_thread, n_keys, mix, partitioned ? nullptr : &contended_zipf,
         kSeed ^ (static_cast<std::uint64_t>(w) * 0x9E3779B97F4A7C15ULL)));
   }
 
@@ -220,6 +224,10 @@ int main(int argc, char** argv) {
       {"partitioned", true, kReadHeavy},
   };
 
+  // One shared popularity table for every contended cell (the bench only
+  // ever needs this (n, s) pair; see build_stream).
+  const ZipfDistribution contended_zipf(kContendedKeys, 0.9);
+
   double best_speedup_8plus = 0.0;
   for (const auto& sweep : sweeps) {
     std::printf("\n[%s / %s] %d ops/thread\n", sweep.keyspace, sweep.mix.name,
@@ -229,10 +237,10 @@ int main(int argc, char** argv) {
     for (const int threads : thread_counts) {
       const auto exclusive =
           run_cell(job, serve::HotPathMode::kExclusive, sweep.partitioned,
-                   sweep.mix, threads, ops_per_thread);
+                   sweep.mix, threads, ops_per_thread, contended_zipf);
       const auto striped =
           run_cell(job, serve::HotPathMode::kStriped, sweep.partitioned,
-                   sweep.mix, threads, ops_per_thread);
+                   sweep.mix, threads, ops_per_thread, contended_zipf);
       ledger_ok = ledger_ok && exclusive.ledger_exact && striped.ledger_exact;
       const double speedup =
           striped.ops_per_s / std::max(exclusive.ops_per_s, 1e-9);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -38,8 +39,15 @@ std::vector<std::int32_t> Rng::sample_without_replacement(std::int32_t n,
   return idx;
 }
 
-ZipfDistribution::ZipfDistribution(std::int32_t n, double exponent) {
+ZipfDistribution::ZipfDistribution(std::int64_t n, double exponent) {
   FLSTORE_CHECK(n > 0);
+  if (n > static_cast<std::int64_t>(
+              std::numeric_limits<std::int32_t>::max())) {
+    throw InvalidArgument(
+        "ZipfDistribution: population " + std::to_string(n) +
+        " exceeds the int32 rank space (and an O(n) CDF would not fit "
+        "either); use ZipfSampler for large populations");
+  }
   FLSTORE_CHECK(exponent >= 0.0);
   cdf_.resize(static_cast<std::size_t>(n));
   double sum = 0.0;
@@ -61,6 +69,70 @@ double ZipfDistribution::pmf(std::int32_t rank) const {
   FLSTORE_CHECK(rank >= 0 && rank < size());
   const auto i = static_cast<std::size_t>(rank);
   return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+namespace {
+
+// log(1 + x) / x and (exp(x) - 1) / x with their Taylor limits at 0, so
+// h_integral and its inverse stay continuous through exponent == 1.
+double zipf_helper1(double x) {
+  if (std::abs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+double zipf_helper2(double x) {
+  if (std::abs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * (0.5 + x * (1.0 / 6.0 + x * (1.0 / 24.0)));
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::int64_t n, double exponent)
+    : n_(n), exponent_(exponent) {
+  FLSTORE_CHECK(n > 0);
+  FLSTORE_CHECK(exponent >= 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h_integral(double x) const {
+  const double log_x = std::log(x);
+  return zipf_helper2((1.0 - exponent_) * log_x) * log_x;
+}
+
+double ZipfSampler::h(double x) const {
+  return std::exp(-exponent_ * std::log(x));
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - exponent_);
+  // Limit borderline cases to the domain of log1p (t can undershoot -1 by
+  // rounding for x near the lower integration bound).
+  if (t < -1.0) t = -1.0;
+  return std::exp(zipf_helper1(t) * x);
+}
+
+std::int64_t ZipfSampler::operator()(Rng& rng) const {
+  // Ranks here are 1-based (the classical Zipf support); shifted to the
+  // 0-based rank space of ZipfDistribution on return.
+  for (;;) {
+    const double u =
+        h_integral_n_ + rng.uniform() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::int64_t k = static_cast<std::int64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > n_) {
+      k = n_;
+    }
+    // Accept either in the shortcut band around the inverse (where the
+    // majorizer is tight) or by the exact rejection test.
+    if (static_cast<double>(k) - x <= s_ ||
+        u >= h_integral(static_cast<double>(k) + 0.5) - h(static_cast<double>(k))) {
+      return k - 1;
+    }
+  }
 }
 
 }  // namespace flstore

@@ -58,9 +58,16 @@ class Rng {
 /// Used by the fault injector: measurement studies on AWS Lambda observed
 /// Zipf-distributed reclamation across function instances (InfiniCache,
 /// FAST'20), which the paper adopts for its fault-tolerance experiments.
+///
+/// Setup is O(n) (a materialized CDF) and draws are O(log n), so this is
+/// the right tool for small, long-lived rank spaces. It rejects n beyond
+/// int32 range outright — million-to-billion-client populations go through
+/// ZipfSampler below, which needs no table at all.
 class ZipfDistribution {
  public:
-  ZipfDistribution(std::int32_t n, double exponent);
+  /// Takes int64 so an oversized population fails the explicit check here
+  /// instead of being silently truncated at an implicit conversion.
+  ZipfDistribution(std::int64_t n, double exponent);
 
   [[nodiscard]] std::int32_t operator()(Rng& rng) const;
   [[nodiscard]] std::int32_t size() const noexcept {
@@ -71,6 +78,39 @@ class ZipfDistribution {
 
  private:
   std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+/// O(1)-memory Zipf sampler over ranks {0, ..., n-1} for populations far
+/// beyond what a materialized CDF can hold (n up to int64 range).
+///
+/// Rejection-inversion after Hörmann & Derflinger, "Rejection-inversion to
+/// generate variates from monotone discrete distributions" (the algorithm
+/// behind Apache Commons' RejectionInversionZipfSampler): invert the
+/// integral of a continuous majorizing function h, then accept/reject the
+/// rounded rank. Constant setup, expected O(1) draws per sample, no state
+/// proportional to n — this is what lets ArrivalStream synthesize 1M+
+/// distinct clients without per-client state.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double exponent);
+
+  [[nodiscard]] std::int64_t operator()(Rng& rng) const;
+  [[nodiscard]] std::int64_t size() const noexcept { return n_; }
+  [[nodiscard]] double exponent() const noexcept { return exponent_; }
+
+ private:
+  // Integral of the majorizing function h(x) = x^-s over [1.5 - 1, x], its
+  // pointwise value, and the integral's inverse — all in closed form via
+  // the log1p/expm1 helpers so the s -> 1 limit stays exact.
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::int64_t n_ = 1;
+  double exponent_ = 1.0;
+  double h_integral_x1_ = 0.0;  ///< h_integral(1.5) - 1
+  double h_integral_n_ = 0.0;   ///< h_integral(n + 0.5)
+  double s_ = 0.0;              ///< shortcut acceptance threshold
 };
 
 }  // namespace flstore

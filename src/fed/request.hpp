@@ -125,6 +125,11 @@ struct NonTrainingRequest {
   RoundId round = kNoRound;     ///< target round
   ClientId client = kNoClient;  ///< tracked client for P3-family requests
   double arrival_s = 0.0;       ///< trace arrival time
+  /// Issuing client's popularity rank when a population model generated the
+  /// request (serve::PopulationConfig); kNoClient for materialized traces.
+  ClientId origin = kNoClient;
+  /// Issuer's device class: index into the population's device-class list.
+  std::uint8_t device_class = 0;
 };
 
 }  // namespace flstore::fed

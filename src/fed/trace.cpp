@@ -50,7 +50,9 @@ NonTrainingRequest TraceSampler::sample(RequestId id, double now, Rng& rng) {
     ++p3_rr_;
     req.client = tracked_[idx];
     // Advance this client's cursor to its next participation that has
-    // already happened; wrap to the first when exhausted.
+    // already happened; once the sequence is exhausted the cursor holds at
+    // the last participation reached (the trajectory's newest point — a
+    // stable, warm target), it does not wrap (regression-tested).
     auto next = dir_->next_participation(req.client, cursor_[idx]);
     if (next.has_value() && *next <= newest) {
       cursor_[idx] = *next;

@@ -43,6 +43,16 @@ class TraceSampler {
   /// (load generators number requests globally across tenants).
   [[nodiscard]] NonTrainingRequest sample(RequestId id, double now, Rng& rng);
 
+  /// Heap + inline footprint in bytes. The sampler's state is O(tracked
+  /// clients + workload mix) — independent of how many requests it has
+  /// drawn, which is what serve::ArrivalStream::state_bytes() sums to prove
+  /// streamed generation is O(1) in trace length.
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return sizeof(*this) + workloads_.capacity() * sizeof(WorkloadType) +
+           tracked_.capacity() * sizeof(ClientId) +
+           cursor_.capacity() * sizeof(RoundId);
+  }
+
  private:
   std::vector<WorkloadType> workloads_;
   const RoundDirectory* dir_;

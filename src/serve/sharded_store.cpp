@@ -155,7 +155,7 @@ void ShardedStore::run_tenant(
     const std::vector<ServiceRequest>& arrivals, double horizon_s,
     double round_interval_s, RoundId first_round,
     const ClosedLoopConfig* closed, const TenantMix* mix,
-    std::vector<ServiceRecord>& out,
+    const StreamSpec* stream, std::vector<ServiceRecord>& out,
     std::array<SchedClassStats, fed::kPolicyClassCount>& sched_out) {
   FLSTORE_CHECK(round_interval_s > 0.0);
   const auto n_local = tenant.shards.size();
@@ -182,6 +182,35 @@ void ShardedStore::run_tenant(
     ev.seq = seq++;
     ev.req = a;
     events.push(std::move(ev));
+  }
+
+  // Streaming mode: this timeline owns a private replica of the shared
+  // deterministic ArrivalStream and keeps only its own tenant's arrivals,
+  // so at most one arrival event is pending at any instant — trace memory
+  // stays O(1) however long the scenario runs. The replica still *sees*
+  // every tenant's arrivals (filtering happens here, not in the stream),
+  // so once it drains, last_arrival_s() is the global last arrival — the
+  // exact horizon a materialized run would have computed, which the ingest
+  // case below uses to drop training rounds past the end of traffic.
+  std::optional<ArrivalStream> stream_src;
+  bool stream_done = false;
+  const auto pull_stream_arrival = [&] {
+    while (auto next = stream_src->next()) {
+      if (next->tenant != tenant.id) continue;  // another timeline's arrival
+      Event ev;
+      ev.time = next->request.arrival_s;
+      ev.type = EvType::kArrival;
+      ev.seq = seq++;
+      ev.req = std::move(*next);
+      events.push(std::move(ev));
+      return;
+    }
+    stream_done = true;
+  };
+  if (stream != nullptr) {
+    FLSTORE_CHECK(stream->config != nullptr && stream->mix != nullptr);
+    stream_src.emplace(*stream->config, *stream->mix);
+    pull_stream_arrival();
   }
 
   // Closed loop: virtual users draw their own requests; the first wave is
@@ -296,9 +325,18 @@ void ShardedStore::run_tenant(
     events.pop();
     switch (ev.type) {
       case EvType::kIngest:
+        // Streamed runs pre-push ingests up to the configured duration;
+        // once the stream has drained, rounds past the last arrival are
+        // dropped so the ingest set matches the materialized run's horizon
+        // (= last arrival time). Rounds popping before exhaustion are
+        // always in range: a pending arrival at a later time exists.
+        if (stream_done && ev.time > stream_src->last_arrival_s()) break;
         ingest_round(tenant.id, tenant.job->make_round(ev.round), ev.time);
         break;
       case EvType::kArrival: {
+        // Replace the popped arrival with the stream's next one for this
+        // tenant (strictly later in time, so queue order is unaffected).
+        if (stream_src.has_value() && !stream_done) pull_stream_arrival();
         const auto local =
             route_local(config_.routing, n_local, ev.req.request);
         if (mode == Mode::kReplay) {
@@ -352,7 +390,8 @@ void ShardedStore::run_tenant(
 ServiceReport ShardedStore::run_all_tenants(
     Mode mode, const std::vector<ServiceRequest>& trace, double horizon_s,
     double round_interval_s, const ClosedLoopConfig* closed,
-    const std::vector<TenantMix>* mix, RoundId first_round) {
+    const std::vector<TenantMix>* mix, RoundId first_round,
+    const StreamSpec* stream) {
   std::vector<std::vector<ServiceRequest>> per_tenant(tenants_.size());
   for (const auto& r : trace) {
     (void)tenant(r.tenant);  // validates
@@ -395,11 +434,11 @@ ServiceReport ShardedStore::run_all_tenants(
   tasks.reserve(tenants_.size());
   for (std::size_t i = 0; i < tenants_.size(); ++i) {
     tasks.push_back([this, i, mode, &per_tenant, horizon_s, round_interval_s,
-                     first_round, closed, &mix_of, &results, &sched_stats,
-                     &errors] {
+                     first_round, closed, &mix_of, stream, &results,
+                     &sched_stats, &errors] {
       try {
         run_tenant(tenants_[i], mode, per_tenant[i], horizon_s,
-                   round_interval_s, first_round, closed, mix_of[i],
+                   round_interval_s, first_round, closed, mix_of[i], stream,
                    results[i], sched_stats[i]);
       } catch (...) {
         errors[i] = std::current_exception();
@@ -476,6 +515,26 @@ ServiceReport ShardedStore::serve_open_loop(
   for (const auto& r : trace) horizon = std::max(horizon, r.request.arrival_s);
   return run_all_tenants(Mode::kQueued, trace, horizon, round_interval_s,
                          nullptr, nullptr);
+}
+
+ServiceReport ShardedStore::serve_open_loop_stream(
+    const StreamConfig& config, const std::vector<TenantMix>& mix) {
+  FLSTORE_CHECK(config.round_interval_s > 0.0);
+  // Validate the mix against the tenant registry up front — the streaming
+  // timelines filter by their own id, so a typo'd tenant would otherwise
+  // just vanish silently instead of failing fast.
+  std::vector<char> seen(tenants_.size(), 0);
+  for (const auto& m : mix) {
+    (void)tenant(m.tenant);  // validates
+    if (seen[static_cast<std::size_t>(m.tenant)] != 0) {
+      throw InvalidArgument("duplicate mix entry for tenant " +
+                            std::to_string(m.tenant));
+    }
+    seen[static_cast<std::size_t>(m.tenant)] = 1;
+  }
+  const StreamSpec spec{&config, &mix};
+  return run_all_tenants(Mode::kQueued, {}, config.duration_s,
+                         config.round_interval_s, nullptr, nullptr, 0, &spec);
 }
 
 ServiceReport ShardedStore::serve_open_loop_window(

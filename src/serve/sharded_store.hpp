@@ -192,6 +192,18 @@ class ShardedStore {
   ServiceReport serve_open_loop(const std::vector<ServiceRequest>& trace,
                                 double round_interval_s);
 
+  /// Queued open-loop serving fed by an ArrivalStream instead of a
+  /// materialized trace: trace memory is O(1) regardless of duration, rate,
+  /// or population size, so this is the entry point for 1M+-client,
+  /// multi-hour scenarios. Each tenant timeline replays its own replica of
+  /// the (deterministic) stream and keeps only its own arrivals — at most
+  /// one pending arrival event per tenant at any instant — which partitions
+  /// the shared sequence exactly as serve_open_loop's up-front split does:
+  /// for a constant-rate, no-population config the report is bit-identical
+  /// to serve_open_loop(open_loop_trace(...)) (regression-tested).
+  ServiceReport serve_open_loop_stream(const StreamConfig& config,
+                                       const std::vector<TenantMix>& mix);
+
   /// One control-tick window of the queued open-loop mode: serves the
   /// arrivals in `trace` (the caller slices them to [window_start_s,
   /// window_end_s)) and ingests only the training rounds landing inside
@@ -368,25 +380,36 @@ class ShardedStore {
 
   enum class Mode { kReplay, kQueued };
 
+  /// Streaming-mode source: each tenant timeline builds its own
+  /// ArrivalStream replica from this (streams are deterministic, so the
+  /// replicas replay one shared sequence) and filters it to its arrivals.
+  struct StreamSpec {
+    const StreamConfig* config = nullptr;
+    const std::vector<TenantMix>* mix = nullptr;
+  };
+
   [[nodiscard]] const Tenant& tenant(JobId id) const;
 
   /// Run one tenant's discrete-event timeline (see .cpp). `arrivals` must
-  /// be sorted by arrival time; closed-loop passes `closed` instead.
-  /// Rounds [first_round, floor(horizon/interval)] ingest (windowed runs
-  /// pass the first round not yet ingested); per-class scheduler stats
-  /// accumulate into `sched_out` (queued mode only).
+  /// be sorted by arrival time; closed-loop passes `closed` instead and
+  /// streaming runs pass `stream` (arrivals then pull from the stream one
+  /// at a time). Rounds [first_round, floor(horizon/interval)] ingest
+  /// (windowed runs pass the first round not yet ingested); per-class
+  /// scheduler stats accumulate into `sched_out` (queued mode only).
   void run_tenant(const Tenant& tenant, Mode mode,
                   const std::vector<ServiceRequest>& arrivals,
                   double horizon_s, double round_interval_s,
                   RoundId first_round, const ClosedLoopConfig* closed,
-                  const TenantMix* mix, std::vector<ServiceRecord>& out,
+                  const TenantMix* mix, const StreamSpec* stream,
+                  std::vector<ServiceRecord>& out,
                   std::array<SchedClassStats, fed::kPolicyClassCount>&
                       sched_out);
 
   ServiceReport run_all_tenants(
       Mode mode, const std::vector<ServiceRequest>& trace, double horizon_s,
       double round_interval_s, const ClosedLoopConfig* closed,
-      const std::vector<TenantMix>* mix, RoundId first_round = 0);
+      const std::vector<TenantMix>* mix, RoundId first_round = 0,
+      const StreamSpec* stream = nullptr);
 
   /// Build one shard for `tenant` from its stored config (scale-out and
   /// add_tenant share this; `primary` enables cold backup on shard 0 only).

@@ -10,6 +10,7 @@
 // backend sweeps through the one core::FLStore code path.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "fed/fl_job.hpp"
 #include "fed/trace.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/load_generator.hpp"
 #include "sim/calibration.hpp"
 
 namespace flstore::sim {
@@ -67,6 +69,63 @@ struct ScenarioConfig {
   /// bit-identical either way — the decorator is pure bookkeeping.
   obs::Telemetry* telemetry = nullptr;
 };
+
+/// Named adversarial traffic shapes for the streaming scenario engine —
+/// the load patterns a production FL cache sees that the paper's fixed
+/// §5.2 trace cannot express (FL IoT/edge survey, arXiv:2402.13029).
+enum class TrafficShape : std::uint8_t {
+  kDiurnal,               ///< 24 h sinusoidal rate over a mobile population
+  kFlashCrowd,            ///< step surge on a model release
+  kHeterogeneousEdge,     ///< 1M+ edge devices, duty-cycled availability
+  kMultiTenantContention, ///< skewed tenant mix over one cache plane
+};
+
+[[nodiscard]] constexpr const char* to_string(TrafficShape s) noexcept {
+  switch (s) {
+    case TrafficShape::kDiurnal: return "diurnal";
+    case TrafficShape::kFlashCrowd: return "flash_crowd";
+    case TrafficShape::kHeterogeneousEdge: return "heterogeneous_edge";
+    case TrafficShape::kMultiTenantContention:
+      return "multi_tenant_contention";
+  }
+  return "?";
+}
+
+[[nodiscard]] std::vector<TrafficShape> all_traffic_shapes();
+
+/// One tenant of a shaped scenario: the training job behind its traffic
+/// plus its slice of the offered load (benches build the fed::FLJob from
+/// `job` and bind it into a serve::TenantMix with `weight`).
+struct ShapedTenant {
+  fed::FLJobConfig job;
+  double weight = 1.0;
+  std::size_t tracked_clients = 5;
+};
+
+/// A fully parameterized streamed scenario: everything a bench needs to
+/// build the serving plane and drive ShardedStore::serve_open_loop_stream.
+struct ShapedScenario {
+  TrafficShape shape = TrafficShape::kDiurnal;
+  std::string name;
+  serve::StreamConfig stream;         ///< rate profile + population + seed
+  std::vector<ShapedTenant> tenants;  ///< at least one
+  int shards_per_tenant = 1;
+  /// Per-class latency objectives scoring SLO attainment (P1..P4) — the
+  /// lenient serving-plane calibration bench_flash_crowd established (a
+  /// cold fetch counts as good; minutes of crowd queueing does not),
+  /// restated here so the bench verdicts don't drift if that bench moves.
+  std::array<double, fed::kPolicyClassCount> slo_latency_s{30.0, 120.0, 60.0,
+                                                           30.0};
+};
+
+/// Construct a named traffic-shape preset (the SNIPPETS parameterized-
+/// workload-constructor idiom: one function, one shape, every knob derived
+/// from `scale`). `scale` multiplies the offered rate, so CI can run the
+/// same multi-hour scenarios cheaply; durations, populations, and windows
+/// are fixed per shape — heterogeneous_edge always synthesizes a
+/// 1.5M-client population over 12 simulated hours.
+[[nodiscard]] ShapedScenario traffic_shape_preset(TrafficShape shape,
+                                                  double scale = 1.0);
 
 class Scenario {
  public:

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <set>
+#include <vector>
+
+#include "common/error.hpp"
 
 namespace flstore {
 namespace {
@@ -146,6 +150,64 @@ TEST(Zipf, SamplesAlwaysInRange) {
     ASSERT_GE(r, 0);
     ASSERT_LT(r, 7);
   }
+}
+
+TEST(Zipf, MaterializedCdfRejectsPopulationBeyondInt32) {
+  // The CDF is O(n) memory and int32-ranked; an oversized population must
+  // fail loudly (and point at ZipfSampler) instead of truncating.
+  EXPECT_THROW(ZipfDistribution(std::int64_t{1} << 32, 0.9), InvalidArgument);
+}
+
+TEST(ZipfSampler, AgreesWithMaterializedCdfAtSmallN) {
+  // Rejection-inversion and the exact CDF target the same distribution:
+  // empirical head frequencies from the sampler must match the pmf.
+  const ZipfDistribution exact(10, 1.0);
+  const ZipfSampler sampler(10, 1.0);
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto r = sampler(rng);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 10);
+    ++counts[static_cast<std::size_t>(r)];
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(i)]) / n,
+                exact.pmf(i), 0.02);
+  }
+}
+
+TEST(ZipfSampler, HandlesPopulationsFarBeyondInt32) {
+  // 5 billion ranks — no CDF could hold this; setup and draws stay O(1).
+  const std::int64_t n = std::int64_t{5'000'000'000};
+  const ZipfSampler sampler(n, 1.1);
+  Rng rng(41);
+  std::int64_t max_seen = -1;
+  for (int i = 0; i < 20000; ++i) {
+    const auto r = sampler(rng);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, n);
+    max_seen = std::max(max_seen, r);
+  }
+  // The tail is thin but present: some draw should land beyond int32 range.
+  EXPECT_GT(max_seen, std::int64_t{std::numeric_limits<std::int32_t>::max()});
+}
+
+TEST(ZipfSampler, ExponentZeroIsRoughlyUniform) {
+  const ZipfSampler sampler(1000, 0.0);
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(sampler(rng));
+  // Uniform over {0..999} has mean 499.5.
+  EXPECT_NEAR(sum / n, 499.5, 15.0);
+}
+
+TEST(ZipfSampler, DeterministicGivenEqualRngState) {
+  const ZipfSampler sampler(1'000'000, 0.9);
+  Rng a(47), b(47);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler(a), sampler(b));
 }
 
 TEST(Rng, ShufflePreservesElements) {

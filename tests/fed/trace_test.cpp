@@ -94,6 +94,48 @@ TEST(Trace, P3RequestsCarryTrackedClientsAndAdvance) {
   }
 }
 
+TEST(Trace, SamplerP3CursorHoldsAtLastParticipationWhenExhausted) {
+  // Once a tracked client's participation sequence is exhausted, its cursor
+  // holds at the last participation reached — a stable, warm target — and
+  // must not wrap back to the start of the trajectory.
+  const auto job = make_job();
+  TraceSampler sampler({WorkloadType::kReputation}, job,
+                       /*tracked_clients=*/3, /*round_interval_s=*/18.0);
+  Rng rng(77);
+  // Drive arrival times far past the end of training (200 rounds * 18 s),
+  // so every tracked client's sequence runs dry.
+  std::map<ClientId, RoundId> held;
+  for (int i = 0; i < 600; ++i) {
+    const double now = 10000.0 + i;  // newest round capped at latest_round
+    const auto req = sampler.sample(static_cast<RequestId>(i), now, rng);
+    const auto it = held.find(req.client);
+    if (it != held.end()) {
+      EXPECT_GE(req.round, it->second);  // never wraps backwards
+    }
+    held[req.client] = req.round;
+  }
+  // After exhaustion the cursor is pinned: further draws repeat the held
+  // round exactly, and it is each client's true last participation.
+  for (int i = 600; i < 650; ++i) {
+    const auto req = sampler.sample(static_cast<RequestId>(i), 20000.0, rng);
+    EXPECT_EQ(req.round, held[req.client]);
+    EXPECT_TRUE(job.participated(req.client, req.round));
+    EXPECT_FALSE(
+        job.next_participation(req.client, req.round).has_value());
+  }
+}
+
+TEST(Trace, SamplerStateBytesFlatAcrossDraws) {
+  const auto job = make_job();
+  TraceSampler sampler({}, job, 5, 18.0);
+  Rng rng(79);
+  const auto before = sampler.state_bytes();
+  for (int i = 0; i < 2000; ++i) {
+    (void)sampler.sample(static_cast<RequestId>(i), 1.0 + i, rng);
+  }
+  EXPECT_EQ(sampler.state_bytes(), before);
+}
+
 TEST(Trace, UsesAllWorkloadsInMix) {
   const auto job = make_job();
   auto cfg = small_trace();

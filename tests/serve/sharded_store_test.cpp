@@ -111,6 +111,64 @@ TEST(ShardedStore, QueuedServingDeterministicAcrossPoolSizes) {
 
 // A single-shard single-tenant replay matches driving the facade directly —
 // the serving plane adds no hidden cost or latency.
+// The streaming entry point is a pure re-plumbing of the materialized one:
+// for the legacy constant-rate, no-population config the two reports must
+// be bit-identical, record for record.
+TEST(ShardedStore, StreamedServingMatchesMaterializedOpenLoop) {
+  Plane materialized(plane_config(0), /*tenants=*/2, /*shards_each=*/2);
+  Plane streamed(plane_config(0), /*tenants=*/2, /*shards_each=*/2);
+
+  const auto legacy = open_loop(0.5, 400.0);
+  const auto trace = open_loop_trace(legacy, materialized.mix());
+  ASSERT_GT(trace.size(), 100U);
+  const auto a = materialized.store->serve_open_loop(trace, 30.0);
+
+  StreamConfig cfg;
+  cfg.rate.base_qps = legacy.offered_qps;
+  cfg.duration_s = legacy.duration_s;
+  cfg.round_interval_s = legacy.round_interval_s;
+  cfg.seed = legacy.seed;
+  const auto b = streamed.store->serve_open_loop_stream(cfg, streamed.mix());
+
+  ASSERT_EQ(a.records.size(), trace.size());
+  expect_identical(a, b);
+}
+
+TEST(ShardedStore, StreamedServingDeterministicAcrossPoolSizes) {
+  Plane reference(plane_config(0), /*tenants=*/3, /*shards_each=*/2);
+  Plane pooled(plane_config(4), /*tenants=*/3, /*shards_each=*/2);
+  StreamConfig cfg;
+  cfg.rate.base_qps = 0.8;
+  cfg.rate.diurnal_amplitude = 0.4;
+  cfg.rate.diurnal_period_s = 600.0;
+  cfg.rate.surges.push_back(RateProfile::Surge{100.0, 200.0, 3.0});
+  cfg.duration_s = 900.0;
+  cfg.round_interval_s = 30.0;
+  cfg.seed = 31;
+  cfg.population.clients = 50000;
+  const auto a = reference.store->serve_open_loop_stream(cfg, reference.mix());
+  const auto b = pooled.store->serve_open_loop_stream(cfg, pooled.mix());
+  ASSERT_GT(a.records.size(), 100U);
+  expect_identical(a, b);
+}
+
+TEST(ShardedStore, StreamedServingRejectsUnknownOrDuplicateTenants) {
+  Plane plane(plane_config(0), /*tenants=*/2);
+  StreamConfig cfg;
+  cfg.rate.base_qps = 0.5;
+  cfg.duration_s = 60.0;
+
+  auto unknown = plane.mix();
+  unknown[1].tenant = 99;
+  EXPECT_THROW((void)plane.store->serve_open_loop_stream(cfg, unknown),
+               InvalidArgument);
+
+  auto duplicate = plane.mix();
+  duplicate[1].tenant = duplicate[0].tenant;
+  EXPECT_THROW((void)plane.store->serve_open_loop_stream(cfg, duplicate),
+               InvalidArgument);
+}
+
 TEST(ShardedStore, SingleShardReplayMatchesDirectFacade) {
   auto cfg = plane_config(2);
   // The bare-facade reference below has no interceptor, so run the plane

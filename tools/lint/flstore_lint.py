@@ -26,6 +26,10 @@ clang-tidy can express:
                       tree tests/CMakeLists.txt glob-registers with ctest);
                       a test file anywhere else would build nowhere and
                       silently never run.
+  baseline-artifact   every bench/baselines/*.json must name an artifact
+                      some bench source actually emits (a JsonReport("x")
+                      producing BENCH_x.json) — a baseline for a renamed or
+                      deleted bench would gate nothing, silently.
 
 Suppression syntax (same line or the line above the finding):
 
@@ -221,12 +225,48 @@ def check_test_registration(root: pathlib.Path,
                 "ctest glob never sees them and they silently never run"))
 
 
+def check_baseline_artifact(root: pathlib.Path,
+                            findings: list[Finding]) -> None:
+    baselines = root / "bench" / "baselines"
+    bench = root / "bench"
+    if not baselines.is_dir() or not bench.is_dir():
+        return
+    import json
+    # Matches both the declaration form `JsonReport report("x")` and a
+    # direct construction `JsonReport("x")`.
+    report_re = re.compile(r'JsonReport(?:\s+\w+)?\s*\(\s*"([^"]+)"\s*\)')
+    emitted = set()
+    for path in sorted(bench.glob("*.cpp")):
+        emitted.update(report_re.findall(path.read_text(encoding="utf-8")))
+    for path in sorted(baselines.glob("*.json")):
+        rel = path.relative_to(root).as_posix()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            findings.append(Finding(
+                rel, 1, "baseline-artifact", f"unparsable JSON: {exc}"))
+            continue
+        artifact = data.get("artifact", "")
+        m = re.fullmatch(r"BENCH_(.+)\.json", artifact)
+        if not m:
+            findings.append(Finding(
+                rel, 1, "baseline-artifact",
+                f"artifact '{artifact}' does not match BENCH_<name>.json"))
+            continue
+        if m.group(1) not in emitted:
+            findings.append(Finding(
+                rel, 1, "baseline-artifact",
+                f"no bench source emits JsonReport(\"{m.group(1)}\") — this "
+                "baseline gates an artifact nothing produces"))
+
+
 CHECKS = {
     "wall-clock": check_wall_clock,
     "no-cout": check_no_cout,
     "bench-json": check_bench_json,
     "mutex-annotation": check_mutex_annotation,
     "test-registration": check_test_registration,
+    "baseline-artifact": check_baseline_artifact,
 }
 
 
